@@ -1,0 +1,328 @@
+//! The metric-specific heuristics WiSeDB is compared against (§3, §7.2):
+//!
+//! * **FFD** (first-fit decreasing) — sort by descending latency, place each
+//!   query on the first VM where it fits; the classic bin-packing heuristic,
+//!   strong for max-latency goals.
+//! * **FFI** (first-fit increasing) — ascending order; strong for per-query
+//!   and average-latency goals.
+//! * **Pack9** — repeatedly emit the nine shortest remaining queries then
+//!   the single largest; built to exploit a 90th-percentile goal's allowance
+//!   by hiding the most expensive queries in the permitted 10%.
+//!
+//! "Fits" means *incurs no penalty* (the paper's definition): each goal kind
+//! gets an O(1) incremental fit test so these scale to the 5000-query
+//! batches of Figure 13. The heuristics place queries on VMs of the
+//! reference type (index 0), as in the paper's single-type comparison.
+
+use wisedb_core::{
+    CoreResult, Millis, PerformanceGoal, Placement, Query, Schedule, VmInstance, VmTypeId,
+    Workload, WorkloadSpec,
+};
+
+/// Which baseline heuristic to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// First-fit decreasing by latency.
+    FirstFitDecreasing,
+    /// First-fit increasing by latency.
+    FirstFitIncreasing,
+    /// Nine shortest, then the largest, repeatedly.
+    Pack9,
+}
+
+impl Heuristic {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::FirstFitDecreasing => "FFD",
+            Heuristic::FirstFitIncreasing => "FFI",
+            Heuristic::Pack9 => "Pack9",
+        }
+    }
+
+    /// All baselines in the paper's order.
+    pub const ALL: [Heuristic; 3] = [
+        Heuristic::FirstFitDecreasing,
+        Heuristic::FirstFitIncreasing,
+        Heuristic::Pack9,
+    ];
+
+    /// Schedules `workload` on VMs of type 0 with this heuristic under
+    /// `goal`'s fit semantics.
+    pub fn schedule(
+        self,
+        spec: &WorkloadSpec,
+        goal: &PerformanceGoal,
+        workload: &Workload,
+    ) -> CoreResult<Schedule> {
+        workload.validate_against(spec)?;
+        let vm_type = VmTypeId(0);
+        let latency = |q: &Query| {
+            spec.latency(q.template, vm_type)
+                .unwrap_or(Millis::ZERO)
+        };
+
+        let mut ordered: Vec<Query> = workload.queries().to_vec();
+        ordered.sort_by_key(|q| (latency(q), q.id));
+        match self {
+            Heuristic::FirstFitIncreasing => {}
+            Heuristic::FirstFitDecreasing => ordered.reverse(),
+            Heuristic::Pack9 => ordered = pack9_order(ordered),
+        }
+
+        let mut fit = FitTracker::new(goal, workload.len());
+        let mut schedule = Schedule::empty();
+        let mut busy: Vec<Millis> = Vec::new();
+        for q in ordered {
+            let exec = latency(&q);
+            let slot = (0..schedule.vms.len())
+                .find(|&v| fit.fits(q.template, busy[v] + exec))
+                .unwrap_or_else(|| {
+                    schedule.vms.push(VmInstance::new(vm_type));
+                    busy.push(Millis::ZERO);
+                    schedule.vms.len() - 1
+                });
+            // A brand-new VM may still not "fit" (e.g. an impossible
+            // deadline); the query is placed regardless — the heuristics
+            // never reject queries, they just pay the penalty.
+            schedule.vms[slot].queue.push(Placement {
+                query: q.id,
+                template: q.template,
+            });
+            busy[slot] += exec;
+            fit.commit(q.template, busy[slot]);
+        }
+        Ok(schedule)
+    }
+}
+
+/// Pack9's emission order: 9 shortest remaining, then the largest.
+fn pack9_order(ascending: Vec<Query>) -> Vec<Query> {
+    let mut out = Vec::with_capacity(ascending.len());
+    let mut lo = 0usize;
+    let mut hi = ascending.len();
+    while lo < hi {
+        for _ in 0..9 {
+            if lo >= hi {
+                break;
+            }
+            out.push(ascending[lo]);
+            lo += 1;
+        }
+        if lo < hi {
+            hi -= 1;
+            out.push(ascending[hi]);
+        }
+    }
+    out
+}
+
+/// O(1)-per-probe fit tests: "would a query completing at `completion`
+/// incur (additional) penalty?"
+struct FitTracker<'a> {
+    goal: &'a PerformanceGoal,
+    total_queries: usize,
+    // Average-latency state.
+    sum_ms: u128,
+    count: u64,
+    // Percentile state.
+    over_deadline: u64,
+}
+
+impl<'a> FitTracker<'a> {
+    fn new(goal: &'a PerformanceGoal, total_queries: usize) -> Self {
+        FitTracker {
+            goal,
+            total_queries,
+            sum_ms: 0,
+            count: 0,
+            over_deadline: 0,
+        }
+    }
+
+    fn fits(&self, template: wisedb_core::TemplateId, completion: Millis) -> bool {
+        match self.goal {
+            PerformanceGoal::PerQuery { deadlines, .. } => {
+                completion
+                    <= deadlines
+                        .get(template.index())
+                        .copied()
+                        .unwrap_or(Millis::ZERO)
+            }
+            PerformanceGoal::MaxLatency { deadline, .. } => completion <= *deadline,
+            PerformanceGoal::AverageLatency { target, .. } => {
+                let new_sum = self.sum_ms + completion.as_millis() as u128;
+                let new_count = self.count + 1;
+                new_sum <= target.as_millis() as u128 * new_count as u128
+            }
+            PerformanceGoal::Percentile {
+                percent, deadline, ..
+            } => {
+                let new_over = self.over_deadline + u64::from(completion > *deadline);
+                // Allowed fraction over the deadline across the whole
+                // workload; filling VMs is judged against the final size.
+                let allowed = ((100.0 - percent) / 100.0 * self.total_queries as f64).floor()
+                    as u64;
+                new_over <= allowed
+            }
+        }
+    }
+
+    fn commit(&mut self, template: wisedb_core::TemplateId, completion: Millis) {
+        let _ = template;
+        self.sum_ms += completion.as_millis() as u128;
+        self.count += 1;
+        if let PerformanceGoal::Percentile { deadline, .. } = self.goal {
+            if completion > *deadline {
+                self.over_deadline += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisedb_core::{total_cost, PenaltyRate, TemplateId, VmType};
+
+    fn spec3() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![
+                ("T1", Millis::from_mins(4)),
+                ("T2", Millis::from_mins(3)),
+                ("T3", Millis::from_mins(2)),
+            ],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    /// The §3 worked example: FFD -> 3 VMs, FFI -> 3 VMs, optimal -> 2.
+    #[test]
+    fn section_three_vm_counts() {
+        let spec = spec3();
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(9),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let workload = Workload::from_counts(&[2, 2, 2]);
+        let ffd = Heuristic::FirstFitDecreasing
+            .schedule(&spec, &goal, &workload)
+            .unwrap();
+        let ffi = Heuristic::FirstFitIncreasing
+            .schedule(&spec, &goal, &workload)
+            .unwrap();
+        ffd.validate_complete(&workload).unwrap();
+        ffi.validate_complete(&workload).unwrap();
+        // FFD: [4,4],[3,3,2],[2] -> 3 VMs. FFI: [2,2,3],[3,4],[4] -> 3 VMs.
+        assert_eq!(ffd.num_vms(), 3);
+        assert_eq!(ffi.num_vms(), 3);
+        // Neither pays a penalty.
+        let b_ffd = wisedb_core::cost_breakdown(&spec, &goal, &ffd).unwrap();
+        let b_ffi = wisedb_core::cost_breakdown(&spec, &goal, &ffi).unwrap();
+        assert_eq!(b_ffd.penalty, wisedb_core::Money::ZERO);
+        assert_eq!(b_ffi.penalty, wisedb_core::Money::ZERO);
+    }
+
+    #[test]
+    fn ffd_packs_max_latency_tightly() {
+        // Deadline 6m, queries of 4m and 2m: FFD pairs each 4 with a 2.
+        let spec = spec3();
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(6),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let workload = Workload::from_counts(&[3, 0, 3]);
+        let s = Heuristic::FirstFitDecreasing
+            .schedule(&spec, &goal, &workload)
+            .unwrap();
+        assert_eq!(s.num_vms(), 3);
+        let b = wisedb_core::cost_breakdown(&spec, &goal, &s).unwrap();
+        assert_eq!(b.penalty, wisedb_core::Money::ZERO);
+    }
+
+    #[test]
+    fn pack9_order_interleaves() {
+        let spec = spec3();
+        // 12 queries: 10 short (T3), 2 long (T1).
+        let workload = Workload::from_counts(&[2, 0, 10]);
+        let mut ordered: Vec<Query> = workload.queries().to_vec();
+        ordered.sort_by_key(|q| {
+            (
+                spec.latency(q.template, VmTypeId(0)).unwrap(),
+                q.id,
+            )
+        });
+        let packed = pack9_order(ordered);
+        // First nine are short, tenth is the largest (a T1).
+        for q in &packed[..9] {
+            assert_eq!(q.template, TemplateId(2));
+        }
+        assert_eq!(packed[9].template, TemplateId(0));
+        assert_eq!(packed.len(), 12);
+    }
+
+    #[test]
+    fn average_fit_allows_mean_dilution() {
+        let spec = spec3();
+        // Target mean 3m, two 2m queries: stacking them yields completions
+        // of 2m and 4m — the 4m query is individually "late" but the mean
+        // is exactly on target, so the running-mean fit test must allow the
+        // stack (a per-query test would not).
+        let goal = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(3),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let workload = Workload::from_counts(&[0, 0, 2]);
+        let s = Heuristic::FirstFitIncreasing
+            .schedule(&spec, &goal, &workload)
+            .unwrap();
+        s.validate_complete(&workload).unwrap();
+        assert_eq!(s.num_vms(), 1);
+        let b = wisedb_core::cost_breakdown(&spec, &goal, &s).unwrap();
+        assert_eq!(b.penalty, wisedb_core::Money::ZERO);
+    }
+
+    #[test]
+    fn percentile_fit_uses_the_allowance() {
+        let spec = spec3();
+        let goal = PerformanceGoal::Percentile {
+            percent: 90.0,
+            deadline: Millis::from_mins(4),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // 10 queries of T3 (2m): Pack9 can stack some beyond 4m on few VMs
+        // as long as ≤ 1 of 10 exceeds the deadline.
+        let workload = Workload::from_counts(&[0, 0, 10]);
+        let s = Heuristic::Pack9.schedule(&spec, &goal, &workload).unwrap();
+        s.validate_complete(&workload).unwrap();
+        let b = wisedb_core::cost_breakdown(&spec, &goal, &s).unwrap();
+        assert_eq!(b.penalty, wisedb_core::Money::ZERO);
+        // It should use fewer VMs than a strict max-deadline packing (5).
+        assert!(s.num_vms() <= 5);
+    }
+
+    #[test]
+    fn impossible_deadlines_still_produce_complete_schedules() {
+        let spec = spec3();
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_secs(1),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let workload = Workload::from_counts(&[2, 2, 2]);
+        for h in Heuristic::ALL {
+            let s = h.schedule(&spec, &goal, &workload).unwrap();
+            s.validate_complete(&workload).unwrap();
+            // One query per VM: nothing ever fits, so every query opens one.
+            assert_eq!(s.num_vms(), 6);
+            assert!(total_cost(&spec, &goal, &s).unwrap() > wisedb_core::Money::ZERO);
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Heuristic::FirstFitDecreasing.name(), "FFD");
+        assert_eq!(Heuristic::FirstFitIncreasing.name(), "FFI");
+        assert_eq!(Heuristic::Pack9.name(), "Pack9");
+    }
+}

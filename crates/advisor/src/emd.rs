@@ -1,0 +1,96 @@
+//! One-dimensional Earth Mover's Distance.
+//!
+//! Strategy recommendation (§6.1) compares per-template average-cost
+//! profiles of adjacent performance goals and repeatedly drops the pair with
+//! the smallest EMD, so the surviving strategies represent genuinely
+//! different cost/performance trade-offs. For distributions over an ordered
+//! 1-D support (template indices), EMD has the classic closed form: the sum
+//! of absolute differences of the cumulative distributions.
+
+/// Earth Mover's Distance between two non-negative profiles over the same
+/// ordered support. Profiles are normalized to unit mass first (an
+/// all-zero profile is treated as uniform), so the result reflects *shape*
+/// differences in how cost concentrates across templates.
+///
+/// # Panics
+/// Panics if the profiles have different lengths or contain negatives.
+pub fn emd_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EMD requires equal-length profiles");
+    assert!(
+        a.iter().chain(b.iter()).all(|&x| x >= 0.0 && x.is_finite()),
+        "EMD profiles must be finite and non-negative"
+    );
+    if a.is_empty() {
+        return 0.0;
+    }
+    let na = normalize(a);
+    let nb = normalize(b);
+    let mut cum_a = 0.0;
+    let mut cum_b = 0.0;
+    let mut emd = 0.0;
+    for i in 0..a.len() {
+        cum_a += na[i];
+        cum_b += nb[i];
+        emd += (cum_a - cum_b).abs();
+    }
+    emd
+}
+
+fn normalize(xs: &[f64]) -> Vec<f64> {
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / xs.len() as f64; xs.len()];
+    }
+    xs.iter().map(|&x| x / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_profiles_have_zero_distance() {
+        assert_eq!(emd_1d(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        // Scale-invariant (profiles are normalized).
+        assert_eq!(emd_1d(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_displacement() {
+        // Moving mass one slot costs less than moving it across the line.
+        let base = [1.0, 0.0, 0.0, 0.0];
+        let near = [0.0, 1.0, 0.0, 0.0];
+        let far = [0.0, 0.0, 0.0, 1.0];
+        assert!(emd_1d(&base, &near) < emd_1d(&base, &far));
+        assert!((emd_1d(&base, &near) - 1.0).abs() < 1e-12);
+        assert!((emd_1d(&base, &far) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_axioms_on_samples() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.5, 0.3, 0.2];
+        let r = [0.1, 0.8, 0.1];
+        // Symmetry.
+        assert!((emd_1d(&p, &q) - emd_1d(&q, &p)).abs() < 1e-12);
+        // Triangle inequality.
+        assert!(emd_1d(&p, &r) <= emd_1d(&p, &q) + emd_1d(&q, &r) + 1e-12);
+        // Identity of indiscernibles.
+        assert_eq!(emd_1d(&p, &p), 0.0);
+        assert!(emd_1d(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn zero_profiles_are_uniform() {
+        // An all-zero profile compares as uniform, not as NaN.
+        let z = [0.0, 0.0, 0.0, 0.0];
+        let u = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(emd_1d(&z, &u), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        emd_1d(&[1.0], &[1.0, 2.0]);
+    }
+}

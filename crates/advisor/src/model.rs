@@ -1,0 +1,467 @@
+//! Decision-model generation (§4): sample → solve → extract → learn.
+//!
+//! The [`ModelGenerator`] draws `N` uniform sample workloads of `m` queries
+//! (§4.2), computes each one's optimal schedule on the scheduling graph
+//! (§4.3), extracts `(features, decision)` pairs from the optimal paths
+//! (§4.4), and trains the decision-tree strategy (§4.5). The resulting
+//! [`DecisionModel`] is the artifact applications keep: it schedules any
+//! number of future batches without further search.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wisedb_core::{
+    CoreResult, PerformanceGoal, Schedule, TemplateId, Workload, WorkloadSpec,
+};
+use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
+use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig};
+
+use crate::batch::{self, BatchPlan};
+
+/// Training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of sample workloads `N` (paper default: 3000).
+    pub num_samples: usize,
+    /// Queries per sample `m` (paper default: 18).
+    pub sample_size: usize,
+    /// RNG seed for workload sampling.
+    pub seed: u64,
+    /// Decision-tree induction parameters.
+    pub tree: TreeParams,
+    /// A* limits for the per-sample optimal searches.
+    #[serde(skip, default)]
+    pub search: SearchConfig,
+}
+
+impl ModelConfig {
+    /// The paper's training configuration: N = 3000 samples of m = 18.
+    pub fn paper() -> Self {
+        ModelConfig {
+            num_samples: 3000,
+            sample_size: 18,
+            seed: 0x5EED_0001,
+            tree: TreeParams::default(),
+            search: SearchConfig::default(),
+        }
+    }
+
+    /// A lighter configuration for tests, examples, and online retraining:
+    /// fewer, smaller samples — trains in tens of milliseconds while
+    /// retaining the qualitative behaviour.
+    pub fn fast() -> Self {
+        ModelConfig {
+            num_samples: 150,
+            sample_size: 9,
+            seed: 0x5EED_0002,
+            tree: TreeParams::default(),
+            search: SearchConfig::default(),
+        }
+    }
+
+    /// Overrides the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig::paper()
+    }
+}
+
+/// What training produced, beyond the tree itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingStats {
+    /// Sample workloads solved.
+    pub num_samples: usize,
+    /// Training rows (one per optimal decision).
+    pub num_rows: usize,
+    /// Resubstitution accuracy of the tree on its training set.
+    pub training_accuracy: f64,
+    /// Tree height (the `h` in the `O(h·n)` scheduling bound).
+    pub tree_depth: usize,
+    /// Leaves in the tree.
+    pub tree_leaves: usize,
+    /// Total A* expansions across all samples.
+    pub search_expanded: u64,
+    /// Wall-clock training time in seconds.
+    pub training_secs: f64,
+}
+
+/// A trained workload-management strategy for one (spec, goal) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionModel {
+    spec: WorkloadSpec,
+    goal: PerformanceGoal,
+    schema: FeatureSchema,
+    tree: DecisionTree,
+    stats: TrainingStats,
+}
+
+impl DecisionModel {
+    /// The workload specification the model was trained for.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The performance goal the model was trained for.
+    pub fn goal(&self) -> &PerformanceGoal {
+        &self.goal
+    }
+
+    /// The underlying decision tree.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// The feature layout.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// Training statistics.
+    pub fn stats(&self) -> &TrainingStats {
+        &self.stats
+    }
+
+    /// Schedules a batch workload with the learned strategy (§6.2).
+    pub fn schedule_batch(&self, workload: &Workload) -> CoreResult<Schedule> {
+        Ok(self.schedule_batch_with_plan(workload)?.0)
+    }
+
+    /// Like [`schedule_batch`](Self::schedule_batch), also returning the
+    /// decision provenance (model vs guard).
+    pub fn schedule_batch_with_plan(
+        &self,
+        workload: &Workload,
+    ) -> CoreResult<(Schedule, BatchPlan)> {
+        batch::schedule_batch(&self.spec, &self.goal, &self.schema, &self.tree, workload)
+    }
+
+    /// Maps a query of unknown template to the known template with the
+    /// closest reference latency (§6.2's rule for unseen queries).
+    pub fn nearest_template(&self, predicted_latency: wisedb_core::Millis) -> TemplateId {
+        let mut best = TemplateId(0);
+        let mut best_diff = u64::MAX;
+        for t in self.spec.template_ids() {
+            let reference = self
+                .spec
+                .latency(t, wisedb_core::VmTypeId(0))
+                .or_else(|| self.spec.template(t).ok().and_then(|q| q.min_latency()))
+                .unwrap_or(wisedb_core::Millis::ZERO);
+            let diff = reference.as_millis().abs_diff(predicted_latency.as_millis());
+            if diff < best_diff {
+                best_diff = diff;
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Serializes the model to JSON (for persistence; the paper notes a
+    /// trained model is a few-MB artifact reusable across workloads).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a model serialized with [`to_json`](Self::to_json).
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders the decision tree in the paper's Figure 6 vocabulary.
+    pub fn render_tree(&self) -> String {
+        let schema = self.schema;
+        let nt = schema.num_templates;
+        self.tree.render(
+            &move |f| schema.feature_name(f),
+            &move |l| wisedb_search::Decision::from_label(l, nt).to_string(),
+        )
+    }
+}
+
+/// Everything kept from training that adaptive re-training (§5) can reuse:
+/// the sample workloads and each one's adaptive searcher.
+pub struct TrainingArtifacts {
+    /// The sampled training workloads.
+    pub samples: Vec<Workload>,
+    /// Per-sample adaptive searchers, warm with the original solve.
+    pub searchers: Vec<AdaptiveSearcher>,
+}
+
+/// Trains [`DecisionModel`]s for a (spec, goal) pair.
+pub struct ModelGenerator {
+    spec: WorkloadSpec,
+    goal: PerformanceGoal,
+    config: ModelConfig,
+}
+
+impl ModelGenerator {
+    /// Creates a generator. The goal is validated against the spec.
+    pub fn new(spec: WorkloadSpec, goal: PerformanceGoal, config: ModelConfig) -> Self {
+        ModelGenerator { spec, goal, config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Draws the training sample workloads (uniform direct sampling, §4.2).
+    pub fn sample_workloads(&self) -> Vec<Workload> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let nt = self.spec.num_templates() as u32;
+        (0..self.config.num_samples)
+            .map(|_| {
+                Workload::from_templates(
+                    (0..self.config.sample_size).map(|_| TemplateId(rng.gen_range(0..nt))),
+                )
+            })
+            .collect()
+    }
+
+    /// Trains a model (discarding reuse artifacts).
+    pub fn train(&self) -> CoreResult<DecisionModel> {
+        Ok(self.train_with_artifacts()?.0)
+    }
+
+    /// Trains a model and returns the artifacts needed to re-train cheaply
+    /// for stricter goals (strategy recommendation, online shifting).
+    pub fn train_with_artifacts(&self) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
+        self.goal.validate_against(&self.spec)?;
+        let samples = self.sample_workloads();
+        let mut searchers: Vec<AdaptiveSearcher> =
+            (0..samples.len()).map(|_| AdaptiveSearcher::new()).collect();
+        let start = Instant::now();
+        let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(samples.len());
+        let mut expanded = 0u64;
+        for (workload, searcher) in samples.iter().zip(searchers.iter_mut()) {
+            let solved =
+                searcher.solve(&self.spec, &self.goal, workload, self.config.search.clone())?;
+            expanded += solved.stats.expanded;
+            paths.push(solved);
+        }
+        let model = self.fit_tree(&paths, expanded, start);
+        Ok((
+            model,
+            TrainingArtifacts {
+                samples,
+                searchers,
+            },
+        ))
+    }
+
+    /// Re-trains for a goal **at least as strict** as the one the artifacts
+    /// were produced under, reusing each sample's search memo (§5). The
+    /// generator's own goal is *not* consulted; `goal` rules.
+    pub fn retrain_tightened(
+        &self,
+        goal: &PerformanceGoal,
+        artifacts: &mut TrainingArtifacts,
+    ) -> CoreResult<DecisionModel> {
+        goal.validate_against(&self.spec)?;
+        let start = Instant::now();
+        let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(artifacts.samples.len());
+        let mut expanded = 0u64;
+        for (workload, searcher) in artifacts
+            .samples
+            .iter()
+            .zip(artifacts.searchers.iter_mut())
+        {
+            let solved = searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
+            expanded += solved.stats.expanded;
+            paths.push(solved);
+        }
+        let generator = ModelGenerator {
+            spec: self.spec.clone(),
+            goal: goal.clone(),
+            config: self.config.clone(),
+        };
+        Ok(generator.fit_tree(&paths, expanded, start))
+    }
+
+    fn fit_tree(
+        &self,
+        paths: &[OptimalSchedule],
+        expanded: u64,
+        started: Instant,
+    ) -> DecisionModel {
+        let dataset = Dataset::from_paths(&self.spec, &self.goal, paths);
+        let tree = DecisionTree::train(&dataset, &self.config.tree);
+        let stats = TrainingStats {
+            num_samples: paths.len(),
+            num_rows: dataset.len(),
+            training_accuracy: tree.accuracy(&dataset),
+            tree_depth: tree.depth(),
+            tree_leaves: tree.num_leaves(),
+            search_expanded: expanded,
+            training_secs: started.elapsed().as_secs_f64(),
+        };
+        DecisionModel {
+            spec: self.spec.clone(),
+            goal: self.goal.clone(),
+            schema: dataset.schema,
+            tree,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisedb_core::{total_cost, GoalKind, Millis, VmType};
+    use wisedb_search::AStarSearcher;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![
+                ("T1", Millis::from_mins(2)),
+                ("T2", Millis::from_mins(1)),
+                ("T3", Millis::from_mins(3)),
+            ],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
+            num_samples: 60,
+            sample_size: 6,
+            seed: 7,
+            tree: TreeParams::default(),
+            search: SearchConfig::default(),
+        }
+    }
+
+    #[test]
+    fn training_produces_a_usable_model() {
+        let spec = small_spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let model = ModelGenerator::new(spec.clone(), goal.clone(), tiny_config())
+            .train()
+            .unwrap();
+        assert_eq!(model.stats().num_samples, 60);
+        assert!(model.stats().num_rows >= 60 * 7); // ≥ m+1 decisions each
+        assert!(model.stats().training_accuracy > 0.6);
+        assert!(model.stats().tree_depth >= 1);
+
+        let w = Workload::from_counts(&[5, 5, 5]);
+        let schedule = model.schedule_batch(&w).unwrap();
+        schedule.validate_complete(&w).unwrap();
+    }
+
+    #[test]
+    fn learned_model_is_near_optimal_on_small_batches() {
+        let spec = small_spec();
+        // A modest (but not minimal) training budget: quality assertions
+        // need enough samples for query-interaction patterns to emerge, as
+        // §4.2 stresses (the paper uses N = 3000, m = 18).
+        let config = ModelConfig {
+            num_samples: 250,
+            sample_size: 8,
+            seed: 7,
+            ..ModelConfig::fast()
+        };
+        for kind in [GoalKind::MaxLatency, GoalKind::PerQuery] {
+            let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+            let model = ModelGenerator::new(spec.clone(), goal.clone(), config.clone())
+                .train()
+                .unwrap();
+            let w = Workload::from_counts(&[3, 3, 3]);
+            let schedule = model.schedule_batch(&w).unwrap();
+            let cost = total_cost(&spec, &goal, &schedule).unwrap();
+            let optimal = AStarSearcher::new(&spec, &goal).solve(&w).unwrap().cost;
+            assert!(
+                cost.as_dollars() <= optimal.as_dollars() * 1.30 + 1e-9,
+                "{kind:?}: model {cost} vs optimal {optimal}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = small_spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let g1 = ModelGenerator::new(spec.clone(), goal.clone(), tiny_config());
+        let g2 = ModelGenerator::new(spec.clone(), goal.clone(), tiny_config());
+        assert_eq!(g1.sample_workloads(), g2.sample_workloads());
+        let g3 = ModelGenerator::new(spec, goal, tiny_config().with_seed(99));
+        assert_ne!(g1.sample_workloads(), g3.sample_workloads());
+    }
+
+    #[test]
+    fn retrain_tightened_matches_fresh_training_quality() {
+        let spec = small_spec();
+        let base = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let generator = ModelGenerator::new(spec.clone(), base.clone(), tiny_config());
+        let (_, mut artifacts) = generator.train_with_artifacts().unwrap();
+
+        let tightened = base.tighten_pct(&spec, 0.4);
+        let adapted = generator
+            .retrain_tightened(&tightened, &mut artifacts)
+            .unwrap();
+        // A model trained from scratch for the tightened goal.
+        let fresh = ModelGenerator::new(spec.clone(), tightened.clone(), tiny_config())
+            .train()
+            .unwrap();
+
+        // Both models schedule a batch; costs should be comparable (the
+        // underlying optimal paths are identical; trees may differ slightly).
+        let w = Workload::from_counts(&[4, 4, 4]);
+        let c_adapted =
+            total_cost(&spec, &tightened, &adapted.schedule_batch(&w).unwrap()).unwrap();
+        let c_fresh = total_cost(&spec, &tightened, &fresh.schedule_batch(&w).unwrap()).unwrap();
+        assert!(
+            c_adapted.as_dollars() <= c_fresh.as_dollars() * 1.3 + 1e-9,
+            "adapted {c_adapted} vs fresh {c_fresh}"
+        );
+        assert_eq!(adapted.goal(), &tightened);
+    }
+
+    #[test]
+    fn model_serde_round_trip() {
+        let spec = small_spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::PerQuery, &spec).unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        let json = model.to_json().unwrap();
+        let back = DecisionModel::from_json(&json).unwrap();
+        let w = Workload::from_counts(&[2, 2, 2]);
+        assert_eq!(
+            back.schedule_batch(&w).unwrap(),
+            model.schedule_batch(&w).unwrap()
+        );
+    }
+
+    #[test]
+    fn nearest_template_matches_by_latency() {
+        let spec = small_spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        // 65s is closest to T2 (60s); 170s closest to T3 (180s).
+        assert_eq!(
+            model.nearest_template(Millis::from_secs(65)),
+            TemplateId(1)
+        );
+        assert_eq!(
+            model.nearest_template(Millis::from_secs(170)),
+            TemplateId(2)
+        );
+    }
+
+    #[test]
+    fn render_tree_speaks_figure_six() {
+        let spec = small_spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        let text = model.render_tree();
+        assert!(text.contains("assign-") || text.contains("new-"));
+    }
+}

@@ -1,0 +1,818 @@
+//! Non-preemptive online scheduling (§6.3).
+//!
+//! Online scheduling is a chain of batch problems: when query `q` arrives at
+//! time `t`, every query that has *not started executing* is rescheduled
+//! together with `q`. Two wrinkles distinguish it from a fresh batch:
+//!
+//! 1. **Waited queries age.** A query that arrived at `t_y` has already
+//!    waited `t − t_y`; scheduling treats it as a "new" template whose
+//!    latency is inflated by that wait, so deadline math stays correct
+//!    (§6.3's augmented template set).
+//! 2. **The open VM.** The most recently provisioned VM may still be busy;
+//!    the plan starts from a vertex whose `wait-time` reflects that backlog
+//!    (the paper's Figure 8 walk-through: `q₂` is placed right behind the
+//!    running `q₁`).
+//!
+//! Retraining a model on every arrival is expensive, so the two §6.3.1
+//! optimizations apply:
+//!
+//! * **Reuse** — models are cached by the batch's quantized age signature
+//!   (the ω mapping): two batches whose waits agree within the latency
+//!   predictor's error share a model.
+//! * **Shift** — for linearly shiftable goals (max, per-query), a batch that
+//!   waited ω is scheduled by the *base* model's goal tightened by ω,
+//!   derived via adaptive retraining (§5) instead of training from scratch.
+//!   Mixed-age batches use the oldest wait, a conservative tightening.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use wisedb_core::{
+    CoreResult, Millis, Money, PerformanceGoal, QueryId, QueryLatency, QueryTemplate, TemplateId,
+    VmTypeId, WorkloadSpec,
+};
+use wisedb_search::{AStarSearcher, Decision, LastVm, SearchConfig, SearchState};
+
+use crate::batch::plan_with_tree;
+use crate::model::{DecisionModel, ModelConfig, ModelGenerator, TrainingArtifacts};
+
+/// Which planner schedules each online batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Planner {
+    /// The learned decision-tree model (WiSeDB proper).
+    Model,
+    /// A* on each batch — the "optimal scheduler" comparator of Figure 18.
+    Optimal,
+}
+
+/// Online scheduling configuration.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Enable the model-reuse cache (ω mapping).
+    pub reuse: bool,
+    /// Enable linear shifting for shiftable goals.
+    pub shift: bool,
+    /// Who plans each batch.
+    pub planner: Planner,
+    /// Training configuration for the base model and any retraining.
+    pub training: ModelConfig,
+    /// Age quantization: waits within one quantum share a model (the paper
+    /// ties this to the latency predictor's error).
+    pub age_quantum: Millis,
+    /// A* limits for [`Planner::Optimal`].
+    pub oracle_search: SearchConfig,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            reuse: true,
+            shift: true,
+            planner: Planner::Model,
+            training: ModelConfig::fast(),
+            age_quantum: Millis::from_millis(250),
+            oracle_search: SearchConfig {
+                node_limit: 200_000,
+            },
+        }
+    }
+}
+
+/// One query of an online stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivingQuery {
+    /// The query's template.
+    pub template: TemplateId,
+    /// When it arrives (monotonically non-decreasing across the stream).
+    pub arrival: Millis,
+}
+
+/// Where and when one query ended up running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// The query (ids follow stream order).
+    pub query: QueryId,
+    /// Its (base) template.
+    pub template: TemplateId,
+    /// Index of the VM that ran it, in provisioning order.
+    pub vm_index: usize,
+    /// Arrival time.
+    pub arrival: Millis,
+    /// Execution start.
+    pub start: Millis,
+    /// Execution completion.
+    pub finish: Millis,
+}
+
+/// The result of replaying an online stream.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Per-query outcomes in stream order.
+    pub outcomes: Vec<OnlineOutcome>,
+    /// VM types provisioned, in order.
+    pub vm_types: Vec<VmTypeId>,
+    /// Wall-clock scheduling overhead per arrival (model selection +
+    /// retraining + planning) — the Figure 19 metric.
+    pub overhead_secs: Vec<f64>,
+    /// Batch size at each arrival.
+    pub batch_sizes: Vec<usize>,
+    /// Full model retrainings performed.
+    pub retrains: usize,
+    /// Model-cache hits (Reuse).
+    pub cache_hits: usize,
+    /// Shift-derived models built (Shift).
+    pub shifts: usize,
+}
+
+impl OnlineReport {
+    /// Realized SLA latencies (completion − arrival).
+    pub fn latencies(&self) -> Vec<QueryLatency> {
+        self.outcomes
+            .iter()
+            .map(|o| QueryLatency {
+                query: o.query,
+                template: o.template,
+                latency: o.finish.saturating_sub(o.arrival),
+            })
+            .collect()
+    }
+
+    /// Total cost: VM start-ups + busy-time rental + SLA penalty — the
+    /// online analogue of Eq. 1.
+    pub fn total_cost(&self, spec: &WorkloadSpec, goal: &PerformanceGoal) -> CoreResult<Money> {
+        let mut cost = Money::ZERO;
+        let mut busy: Vec<Millis> = vec![Millis::ZERO; self.vm_types.len()];
+        for o in &self.outcomes {
+            busy[o.vm_index] += o.finish - o.start;
+        }
+        for (v, &vm_type) in self.vm_types.iter().enumerate() {
+            let vt = spec.vm_type(vm_type)?;
+            cost += vt.startup_cost;
+            cost += vt.runtime_cost(busy[v]);
+        }
+        cost += goal.penalty(&self.latencies());
+        Ok(cost)
+    }
+
+    /// Mean scheduling overhead per arrival, in seconds.
+    pub fn mean_overhead_secs(&self) -> f64 {
+        if self.overhead_secs.is_empty() {
+            return 0.0;
+        }
+        self.overhead_secs.iter().sum::<f64>() / self.overhead_secs.len() as f64
+    }
+}
+
+/// A VM in the online simulation.
+struct OnlineVm {
+    vm_type: VmTypeId,
+    /// When all committed (started) work finishes.
+    avail: Millis,
+    /// Templates of committed queries still running at the current time
+    /// (for the open VM's feature vector).
+    running: Vec<(TemplateId, Millis /* finish */)>,
+    /// Assigned but not yet started: (query id, base template, time of the
+    /// batch that assigned it — a query cannot start earlier).
+    tentative: Vec<(QueryId, TemplateId, Millis)>,
+    /// Released VMs accept no further work.
+    released: bool,
+}
+
+/// An unstarted query awaiting (re)scheduling.
+#[derive(Debug, Clone, Copy)]
+struct PendingQuery {
+    id: QueryId,
+    template: TemplateId,
+    arrival: Millis,
+}
+
+/// The online scheduler: owns the base model, the ω-keyed model cache, and
+/// the shift ladder.
+pub struct OnlineScheduler {
+    spec: WorkloadSpec,
+    goal: PerformanceGoal,
+    config: OnlineConfig,
+    base: DecisionModel,
+    generator: ModelGenerator,
+    artifacts: TrainingArtifacts,
+    /// Reuse cache: quantized (template, age-bucket) signature → model.
+    reuse_cache: HashMap<Vec<u64>, DecisionModel>,
+    /// Shift cache: ω bucket → model for the shifted goal.
+    shift_cache: HashMap<u64, DecisionModel>,
+}
+
+impl OnlineScheduler {
+    /// Trains the base model and prepares the caches.
+    pub fn train(
+        spec: WorkloadSpec,
+        goal: PerformanceGoal,
+        config: OnlineConfig,
+    ) -> CoreResult<Self> {
+        let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
+        let (base, artifacts) = generator.train_with_artifacts()?;
+        Ok(OnlineScheduler {
+            spec,
+            goal,
+            config,
+            base,
+            generator,
+            artifacts,
+            reuse_cache: HashMap::new(),
+            shift_cache: HashMap::new(),
+        })
+    }
+
+    /// Wraps an existing base model (e.g. the one trained for batch use).
+    pub fn with_model(
+        base: DecisionModel,
+        artifacts: TrainingArtifacts,
+        config: OnlineConfig,
+    ) -> Self {
+        let spec = base.spec().clone();
+        let goal = base.goal().clone();
+        let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
+        OnlineScheduler {
+            spec,
+            goal,
+            config,
+            base,
+            generator,
+            artifacts,
+            reuse_cache: HashMap::new(),
+            shift_cache: HashMap::new(),
+        }
+    }
+
+    /// The base model.
+    pub fn base_model(&self) -> &DecisionModel {
+        &self.base
+    }
+
+    /// Replays a stream of arrivals through the online scheduling loop.
+    pub fn run(&mut self, stream: &[ArrivingQuery]) -> CoreResult<OnlineReport> {
+        let mut vms: Vec<OnlineVm> = Vec::new();
+        let mut report = OnlineReport {
+            outcomes: Vec::with_capacity(stream.len()),
+            vm_types: Vec::new(),
+            overhead_secs: Vec::with_capacity(stream.len()),
+            batch_sizes: Vec::with_capacity(stream.len()),
+            retrains: 0,
+            cache_hits: 0,
+            shifts: 0,
+        };
+        let mut outcomes: Vec<Option<OnlineOutcome>> = vec![None; stream.len()];
+
+        let arrival_times: Vec<Millis> = stream.iter().map(|a| a.arrival).collect();
+        for (i, arriving) in stream.iter().enumerate() {
+            let now = arriving.arrival;
+            advance_to(&mut vms, now, &self.spec, &mut outcomes, &arrival_times);
+
+            // Collect the batch: the new query plus everything unstarted.
+            let mut batch: Vec<PendingQuery> = vec![PendingQuery {
+                id: QueryId(i as u32),
+                template: arriving.template,
+                arrival: now,
+            }];
+            for vm in vms.iter_mut() {
+                for (qid, template, _) in vm.tentative.drain(..) {
+                    batch.push(PendingQuery {
+                        id: qid,
+                        template,
+                        arrival: stream[qid.index()].arrival,
+                    });
+                }
+            }
+            report.batch_sizes.push(batch.len());
+
+            let started = Instant::now();
+            self.plan_batch(&mut vms, &mut report, &batch, now)?;
+            report.overhead_secs.push(started.elapsed().as_secs_f64());
+        }
+
+        // Drain: run everything still tentative.
+        advance_to(
+            &mut vms,
+            Millis::from_millis(u64::MAX),
+            &self.spec,
+            &mut outcomes,
+            &arrival_times,
+        );
+        report.vm_types = vms.iter().map(|vm| vm.vm_type).collect();
+        report.outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every arrived query is eventually executed"))
+            .collect();
+        Ok(report)
+    }
+
+    /// Plans one batch and records tentative assignments on the VMs.
+    fn plan_batch(
+        &mut self,
+        vms: &mut Vec<OnlineVm>,
+        report: &mut OnlineReport,
+        batch: &[PendingQuery],
+        now: Millis,
+    ) -> CoreResult<()> {
+        let quantum = self.config.age_quantum.as_millis().max(1);
+        let bucket_of = |q: &PendingQuery| {
+            let age = now.saturating_sub(q.arrival).as_millis();
+            (age + quantum / 2) / quantum
+        };
+        let max_bucket = batch.iter().map(bucket_of).max().unwrap_or(0);
+        let all_fresh = max_bucket == 0;
+        let shiftable = self.goal.is_linearly_shiftable();
+        #[allow(unused_assignments)] // only the aged no-reuse arm assigns it
+        let mut owned_model: Option<DecisionModel> = None;
+
+        // -- Choose the scheduling view: (spec, goal, model, template map) --
+        enum View<'m> {
+            Base(&'m DecisionModel),
+            Shifted(&'m DecisionModel),
+            Aged {
+                model: &'m DecisionModel,
+                spec: WorkloadSpec,
+                goal: PerformanceGoal,
+                /// (base template, bucket) → scheduling template id
+                map: HashMap<(u32, u64), TemplateId>,
+            },
+        }
+
+        let view = if all_fresh {
+            View::Base(&self.base)
+        } else if self.config.shift && shiftable && self.config.planner == Planner::Model {
+            let shift = Millis::from_millis(max_bucket * quantum);
+            if !self.shift_cache.contains_key(&max_bucket) {
+                let shifted_goal = self
+                    .goal
+                    .shift(shift)
+                    .expect("shiftable goals always shift");
+                let model = self
+                    .generator
+                    .retrain_tightened(&shifted_goal, &mut self.artifacts)?;
+                self.shift_cache.insert(max_bucket, model);
+                report.shifts += 1;
+            } else {
+                report.cache_hits += 1;
+            }
+            View::Shifted(&self.shift_cache[&max_bucket])
+        } else {
+            // Aged-template path (with optional Reuse caching).
+            let mut signature: Vec<u64> = batch
+                .iter()
+                .map(|q| q.template.0 as u64 * 1_000_000 + bucket_of(q))
+                .collect();
+            signature.sort_unstable();
+            signature.dedup();
+
+            let (aug_spec, aug_goal, map) = self.augment(batch, now, quantum)?;
+            let use_cache = self.config.reuse && self.config.planner == Planner::Model;
+            let model_ref: &DecisionModel = if use_cache {
+                if self.reuse_cache.contains_key(&signature) {
+                    report.cache_hits += 1;
+                } else {
+                    let generator = ModelGenerator::new(
+                        aug_spec.clone(),
+                        aug_goal.clone(),
+                        self.config.training.clone(),
+                    );
+                    let model = generator.train()?;
+                    report.retrains += 1;
+                    self.reuse_cache.insert(signature.clone(), model);
+                }
+                &self.reuse_cache[&signature]
+            } else {
+                // Reuse disabled: pay for a fresh model every time (the
+                // "None" arm of Figure 19).
+                let generator = ModelGenerator::new(
+                    aug_spec.clone(),
+                    aug_goal.clone(),
+                    self.config.training.clone(),
+                );
+                report.retrains += 1;
+                owned_model = Some(generator.train()?);
+                owned_model.as_ref().expect("just assigned")
+            };
+            View::Aged {
+                model: model_ref,
+                spec: aug_spec,
+                goal: aug_goal,
+                map,
+            }
+        };
+
+        let (sched_spec, sched_goal, model): (&WorkloadSpec, &PerformanceGoal, &DecisionModel) =
+            match &view {
+                View::Base(m) => (&self.spec, &self.goal, m),
+                View::Shifted(m) => (&self.spec, m.goal(), m),
+                View::Aged {
+                    model, spec, goal, ..
+                } => (spec, goal, model),
+            };
+
+        // Map each batch query to its scheduling-template id.
+        let sched_template = |q: &PendingQuery| -> TemplateId {
+            match &view {
+                View::Base(_) | View::Shifted(_) => q.template,
+                View::Aged { map, .. } => {
+                    let bucket = bucket_of(q);
+                    if bucket == 0 {
+                        q.template
+                    } else {
+                        map[&(q.template.0, bucket)]
+                    }
+                }
+            }
+        };
+
+        // -- Build the initial vertex: counts + the open VM (if any). --
+        let mut counts = vec![0u16; sched_spec.num_templates()];
+        let mut by_template: HashMap<TemplateId, Vec<PendingQuery>> = HashMap::new();
+        for q in batch {
+            let st = sched_template(q);
+            counts[st.index()] += 1;
+            by_template.entry(st).or_default().push(q.clone());
+        }
+        // FIFO by arrival within a template.
+        for queue in by_template.values_mut() {
+            queue.sort_by_key(|q| (q.arrival, q.id));
+            queue.reverse(); // pop from the back
+        }
+
+        let mut state = SearchState::initial(counts, sched_goal);
+        let open_vm = vms.last().filter(|vm| !vm.released).map(|vm| {
+            LastVm::seeded(
+                vm.vm_type,
+                vm.running.iter().map(|&(t, _)| t).collect(),
+                vm.avail.saturating_sub(now),
+            )
+        });
+        if let Some(last) = open_vm {
+            state.last_vm = Some(last);
+            state.vms_rented = vms.len() as u32;
+        }
+
+        // -- Plan. --
+        let decisions: Vec<Decision> = match self.config.planner {
+            Planner::Model => {
+                plan_with_tree(sched_spec, sched_goal, model.schema(), model.tree(), state)
+                    .decisions
+                    .into_iter()
+                    .map(|(d, _)| d)
+                    .collect()
+            }
+            Planner::Optimal => AStarSearcher::new(sched_spec, sched_goal)
+                .with_config(self.config.oracle_search.clone())
+                .plan_from(state)?
+                .decisions,
+        };
+
+        // -- Apply: record tentative assignments. --
+        for d in decisions {
+            match d {
+                Decision::CreateVm(v) => {
+                    vms.push(OnlineVm {
+                        vm_type: v,
+                        avail: now,
+                        running: Vec::new(),
+                        tentative: Vec::new(),
+                        released: false,
+                    });
+                }
+                Decision::Place(st) => {
+                    let q = by_template
+                        .get_mut(&st)
+                        .and_then(|v| v.pop())
+                        .expect("plan places exactly the batch's queries");
+                    let vm = vms
+                        .last_mut()
+                        .expect("plans rent before placing when no VM is open");
+                    vm.tentative.push((q.id, q.template, now));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the augmented spec/goal for a batch with waited queries:
+    /// one extra template per (base template, age bucket > 0), its latency
+    /// inflated by the (quantized) wait so queue math includes time already
+    /// spent waiting. Per-query goals give the aged variant its base
+    /// template's deadline; other goals are template-free.
+    fn augment(
+        &self,
+        batch: &[PendingQuery],
+        now: Millis,
+        quantum: u64,
+    ) -> CoreResult<(WorkloadSpec, PerformanceGoal, HashMap<(u32, u64), TemplateId>)> {
+        let mut spec = self.spec.clone();
+        let mut goal = self.goal.clone();
+        let mut map: HashMap<(u32, u64), TemplateId> = HashMap::new();
+        let mut pairs: Vec<(u32, u64)> = batch
+            .iter()
+            .filter_map(|q| {
+                let age = now.saturating_sub(q.arrival).as_millis();
+                let bucket = (age + quantum / 2) / quantum;
+                (bucket > 0).then_some((q.template.0, bucket))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (base_t, bucket) in pairs {
+            let base = self.spec.template(TemplateId(base_t))?;
+            let wait = Millis::from_millis(bucket * quantum);
+            let aged = QueryTemplate {
+                name: format!("{}+{}", base.name, wait),
+                latencies: base
+                    .latencies
+                    .iter()
+                    .map(|l| l.map(|l| l + wait))
+                    .collect(),
+            };
+            let id = TemplateId(spec.num_templates() as u32);
+            spec = spec.with_extra_template(aged)?;
+            if let PerformanceGoal::PerQuery { deadlines, .. } = &self.goal {
+                goal = goal.with_extra_deadline(deadlines[base_t as usize]);
+            }
+            map.insert((base_t, bucket), id);
+        }
+        Ok((spec, goal, map))
+    }
+}
+
+/// Starts tentative queries whose start time is strictly before `now`,
+/// recording their outcomes; releases VMs that fall idle with no work.
+fn advance_to(
+    vms: &mut [OnlineVm],
+    now: Millis,
+    spec: &WorkloadSpec,
+    outcomes: &mut [Option<OnlineOutcome>],
+    arrivals: &[Millis],
+) {
+    for (v, vm) in vms.iter_mut().enumerate() {
+        // Retire finished committed work from the running set.
+        vm.running.retain(|&(_, finish)| finish > now);
+        let mut i = 0;
+        while i < vm.tentative.len() {
+            let (qid, template, assigned_at) = vm.tentative[i];
+            // A query starts when the VM is free, but never before the
+            // batch that assigned it.
+            let start = vm.avail.max(assigned_at);
+            if start >= now {
+                break;
+            }
+            let exec = spec
+                .latency(template, vm.vm_type)
+                .expect("online placements are validated at scheduling time");
+            let finish = start + exec;
+            outcomes[qid.index()] = Some(OnlineOutcome {
+                query: qid,
+                template,
+                vm_index: v,
+                arrival: arrivals[qid.index()],
+                start,
+                finish,
+            });
+            vm.avail = finish;
+            if finish > now {
+                vm.running.push((template, finish));
+            }
+            i += 1;
+        }
+        vm.tentative.drain(..i);
+        if vm.tentative.is_empty() && vm.avail <= now {
+            vm.released = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisedb_core::{GoalKind, VmType};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    fn tiny_training() -> ModelConfig {
+        ModelConfig {
+            num_samples: 40,
+            sample_size: 5,
+            seed: 3,
+            ..ModelConfig::fast()
+        }
+    }
+
+    fn stream(templates: &[u32], gap: Millis) -> Vec<ArrivingQuery> {
+        templates
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| ArrivingQuery {
+                template: TemplateId(t),
+                arrival: gap * i as u64,
+            })
+            .collect()
+    }
+
+    fn run_with(
+        goal_kind: GoalKind,
+        config: OnlineConfig,
+        templates: &[u32],
+        gap: Millis,
+    ) -> (OnlineReport, WorkloadSpec, PerformanceGoal) {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(goal_kind, &spec).unwrap();
+        let mut scheduler = OnlineScheduler::train(spec.clone(), goal.clone(), config).unwrap();
+        let report = scheduler.run(&stream(templates, gap)).unwrap();
+        (report, spec, goal)
+    }
+
+    fn patched_cost(report: &OnlineReport, spec: &WorkloadSpec, goal: &PerformanceGoal) -> Money {
+        report.total_cost(spec, goal).unwrap()
+    }
+
+    #[test]
+    fn every_query_is_executed_once() {
+        let (report, spec, goal) = run_with(
+            GoalKind::MaxLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                ..OnlineConfig::default()
+            },
+            &[0, 1, 0, 1, 1, 0],
+            Millis::from_secs(30),
+        );
+        assert_eq!(report.outcomes.len(), 6);
+        // Starts never precede... the batch's scheduling time; and finishes
+        // are consistent with execution times.
+        for o in &report.outcomes {
+            assert!(o.finish > o.start);
+        }
+        assert!(patched_cost(&report, &spec, &goal) > Money::ZERO);
+        assert_eq!(report.batch_sizes.len(), 6);
+        assert_eq!(report.overhead_secs.len(), 6);
+    }
+
+    #[test]
+    fn slow_arrivals_reuse_few_vms() {
+        // With 10-minute gaps every query finds an empty cluster: each
+        // batch is a single fresh query, so no retraining is ever needed
+        // and the cost approaches sequential execution.
+        let (report, _, _) = run_with(
+            GoalKind::MaxLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                ..OnlineConfig::default()
+            },
+            &[0, 0, 0],
+            Millis::from_mins(10),
+        );
+        assert_eq!(report.retrains, 0);
+        assert_eq!(report.shifts, 0);
+        // Queries never overlap; each runs immediately on arrival.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.start, Millis::from_mins(10) * i as u64);
+        }
+    }
+
+    #[test]
+    fn burst_arrivals_stack_or_spread_depending_on_goal() {
+        // All queries arrive within a second; the scheduler must use the
+        // open VM's wait-time to decide between stacking and new VMs.
+        let (report, spec, goal) = run_with(
+            GoalKind::PerQuery,
+            OnlineConfig {
+                training: tiny_training(),
+                ..OnlineConfig::default()
+            },
+            &[1, 1, 1, 1],
+            Millis::from_millis(100),
+        );
+        // T2's deadline is 3 minutes (3x60s); stacking four 1-minute
+        // queries would blow it for the last one, so at least 2 VMs.
+        assert!(report.vm_types.len() >= 2, "vms={}", report.vm_types.len());
+        let cost = patched_cost(&report, &spec, &goal);
+        assert!(cost > Money::ZERO);
+    }
+
+    #[test]
+    fn shift_cache_kicks_in_for_shiftable_goals() {
+        let (report, _, _) = run_with(
+            GoalKind::MaxLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                reuse: false,
+                shift: true,
+                ..OnlineConfig::default()
+            },
+            &[0, 0, 0, 0, 0, 0],
+            Millis::from_secs(10),
+        );
+        // Aged batches exist (queries wait behind each other), and the
+        // shift path must have served them: zero full retrains.
+        assert_eq!(report.retrains, 0);
+        assert!(report.shifts > 0 || report.batch_sizes.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn reuse_never_trains_more_than_no_reuse() {
+        // Average latency is not linearly shiftable, so aged batches go
+        // through the (cached) aged-template path. With reuse on, the
+        // retrain count can only drop, and the cost must stay comparable.
+        let templates = [1u32, 1, 1, 1, 1, 1, 1, 1];
+        let gap = Millis::from_secs(20);
+        let (with_reuse, spec, goal) = run_with(
+            GoalKind::AverageLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                reuse: true,
+                shift: false,
+                ..OnlineConfig::default()
+            },
+            &templates,
+            gap,
+        );
+        let (without, _, _) = run_with(
+            GoalKind::AverageLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                reuse: false,
+                shift: false,
+                ..OnlineConfig::default()
+            },
+            &templates,
+            gap,
+        );
+        assert!(
+            with_reuse.retrains <= without.retrains,
+            "reuse={} vs none={}",
+            with_reuse.retrains,
+            without.retrains
+        );
+        assert_eq!(without.cache_hits, 0);
+        let c_reuse = patched_cost(&with_reuse, &spec, &goal);
+        let c_none = patched_cost(&without, &spec, &goal);
+        assert!(c_reuse.as_dollars() <= c_none.as_dollars() * 2.0 + 0.01);
+    }
+
+    #[test]
+    fn optimal_planner_completes_and_is_no_worse() {
+        let templates = [0u32, 1, 1, 0];
+        let gap = Millis::from_secs(45);
+        let (model_report, spec, goal) = run_with(
+            GoalKind::MaxLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                ..OnlineConfig::default()
+            },
+            &templates,
+            gap,
+        );
+        let (oracle_report, _, _) = run_with(
+            GoalKind::MaxLatency,
+            OnlineConfig {
+                training: tiny_training(),
+                planner: Planner::Optimal,
+                ..OnlineConfig::default()
+            },
+            &templates,
+            gap,
+        );
+        let c_model = patched_cost(&model_report, &spec, &goal);
+        let c_oracle = patched_cost(&oracle_report, &spec, &goal);
+        assert_eq!(oracle_report.outcomes.len(), templates.len());
+        // The oracle plans each batch optimally; the model should be close
+        // (and can tie). Generous bound: within 50% on this toy setup.
+        assert!(
+            c_model.as_dollars() <= c_oracle.as_dollars() * 1.5 + 1e-6,
+            "model {c_model} vs oracle {c_oracle}"
+        );
+    }
+
+    #[test]
+    fn arrivals_recorded_in_outcomes() {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut scheduler = OnlineScheduler::train(
+            spec.clone(),
+            goal.clone(),
+            OnlineConfig {
+                training: tiny_training(),
+                ..OnlineConfig::default()
+            },
+        )
+        .unwrap();
+        let arrivals = stream(&[0, 1], Millis::from_secs(30));
+        let report = scheduler.run(&arrivals).unwrap();
+        for (o, a) in report.outcomes.iter().zip(&arrivals) {
+            assert_eq!(o.arrival, a.arrival);
+            assert!(o.start >= o.arrival);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benches for adaptive modeling (Figure 16 territory): re-train
+//! for a tightened goal with memo reuse versus training from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wisedb::advisor::{ModelConfig, ModelGenerator};
+use wisedb::prelude::*;
+
+fn config() -> ModelConfig {
+    ModelConfig {
+        num_samples: 60,
+        sample_size: 9,
+        seed: 0xADA7,
+        ..ModelConfig::fast()
+    }
+}
+
+fn adaptive_vs_fresh(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let base = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let generator = ModelGenerator::new(spec.clone(), base.clone(), config());
+
+    let mut group = c.benchmark_group("adaptive/retrain");
+    group.sample_size(10);
+    for &shift in &[0.2f64, 0.4, 0.8] {
+        let goal = base.tighten_pct(&spec, shift);
+        group.bench_with_input(
+            BenchmarkId::new("reuse", format!("{:.0}%", shift * 100.0)),
+            &shift,
+            |b, _| {
+                b.iter_batched(
+                    || generator.train_with_artifacts().unwrap().1,
+                    |mut artifacts| {
+                        generator.retrain_tightened(&goal, &mut artifacts).unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("{:.0}%", shift * 100.0)),
+            &shift,
+            |b, _| {
+                b.iter(|| {
+                    ModelGenerator::new(spec.clone(), goal.clone(), config())
+                        .train()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_vs_fresh);
+criterion_main!(benches);

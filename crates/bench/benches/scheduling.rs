@@ -1,0 +1,79 @@
+//! Criterion benches for runtime scheduling (Figure 17 territory): batch
+//! scheduling throughput of a trained model, plus the A* kernel that
+//! training runs thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wisedb::advisor::{DecisionModel, ModelConfig, ModelGenerator};
+use wisedb::prelude::*;
+
+fn trained_model() -> (WorkloadSpec, PerformanceGoal, DecisionModel) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let model = ModelGenerator::new(
+        spec.clone(),
+        goal.clone(),
+        ModelConfig {
+            num_samples: 120,
+            sample_size: 9,
+            seed: 0xFACADE,
+            ..ModelConfig::fast()
+        },
+    )
+    .train()
+    .unwrap();
+    (spec, goal, model)
+}
+
+fn batch_scheduling(c: &mut Criterion) {
+    let (spec, _goal, model) = trained_model();
+    let mut group = c.benchmark_group("scheduling/batch");
+    group.sample_size(10);
+    for &size in &[1_000usize, 10_000, 30_000] {
+        let workload = wisedb::sim::generator::uniform_workload(&spec, size, 99);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| model.schedule_batch(&workload).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn astar_solve_kernel(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let mut group = c.benchmark_group("search/astar_sample");
+    group.sample_size(20);
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        let workload = wisedb::sim::generator::uniform_workload(&spec, 18, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    AStarSearcher::new(&spec, &goal)
+                        .solve(&workload)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn baseline_heuristics(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let workload = wisedb::sim::generator::uniform_workload(&spec, 5_000, 3);
+    let mut group = c.benchmark_group("scheduling/baselines_5k");
+    group.sample_size(20);
+    for h in Heuristic::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(h.name()), &h, |b, &h| {
+            b.iter(|| h.schedule(&spec, &goal, &workload).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_scheduling, astar_solve_kernel, baseline_heuristics);
+criterion_main!(benches);

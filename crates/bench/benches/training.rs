@@ -1,0 +1,78 @@
+//! Criterion benches for model training (Figures 14–15 territory):
+//! time to train a decision model as templates and VM types scale.
+//!
+//! These use reduced sample counts so `cargo bench` stays minutes-scale;
+//! the `fig14`/`fig15` report binaries measure the full configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wisedb::advisor::{ModelConfig, ModelGenerator};
+use wisedb::prelude::*;
+
+fn bench_config() -> ModelConfig {
+    ModelConfig {
+        num_samples: 60,
+        sample_size: 9,
+        seed: 0xC0FFEE,
+        ..ModelConfig::fast()
+    }
+}
+
+fn training_vs_templates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/templates");
+    group.sample_size(10);
+    for &n in &[5usize, 10, 15, 20] {
+        let spec = wisedb::sim::catalog::tpch_like(n);
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                ModelGenerator::new(spec.clone(), goal.clone(), bench_config())
+                    .train()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn training_vs_vm_types(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/vm_types");
+    group.sample_size(10);
+    for &k in &[1usize, 5, 10] {
+        let spec = wisedb::sim::catalog::tpch_like_k_types(10, k);
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                ModelGenerator::new(spec.clone(), goal.clone(), bench_config())
+                    .train()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn training_vs_goal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/goal");
+    group.sample_size(10);
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                ModelGenerator::new(spec.clone(), goal.clone(), bench_config())
+                    .train()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    training_vs_templates,
+    training_vs_vm_types,
+    training_vs_goal
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 9: final cost of WiSeDB vs Optimal for 30-query workloads
+//! uniformly distributed over 10 templates, one bar pair per goal kind.
+
+use wisedb::prelude::*;
+use wisedb_bench::{cents, oracle_cost, oracle_note, pct_above, train_all_goals, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    eprintln!("fig09: training models ({scale:?})...");
+    let models = train_all_goals(&spec, scale);
+
+    let mut table = Table::new(
+        "Figure 9: cost of 30-query workloads (cents, mean over repeats)",
+        &["goal", "WiSeDB", "Optimal", "% above"],
+    );
+    for (kind, goal, model) in &models {
+        let mut wise = Money::ZERO;
+        let mut opt = Money::ZERO;
+        let mut all_proven = true;
+        for rep in 0..scale.repeats() {
+            let w = wisedb::sim::generator::uniform_workload(&spec, 30, 9_000 + rep as u64);
+            let s = model.schedule_batch(&w).expect("scheduling succeeds");
+            s.validate_complete(&w).expect("schedule is complete");
+            wise += total_cost(&spec, goal, &s).expect("cost computes");
+            let (o, proven) = oracle_cost(&spec, goal, &w);
+            all_proven &= proven;
+            opt += o;
+        }
+        let n = scale.repeats() as f64;
+        let wise = wise / n;
+        let opt = opt / n;
+        table.row(&[
+            kind.name().to_string(),
+            cents(wise),
+            format!("{}{}", cents(opt), oracle_note(all_proven)),
+            format!("{:+.1}%", pct_above(wise, opt)),
+        ]);
+    }
+    table.print();
+    println!("(*) oracle hit its node budget; value is a best-found upper bound");
+}

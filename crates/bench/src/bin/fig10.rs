@@ -1,0 +1,42 @@
+//! Figure 10: percent cost above optimal vs workload size (20/25/30
+//! queries) for each goal kind.
+
+use wisedb::prelude::*;
+use wisedb_bench::{oracle_cost, pct_above, train_all_goals, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    eprintln!("fig10: training models ({scale:?})...");
+    let models = train_all_goals(&spec, scale);
+
+    let sizes = [20usize, 25, 30];
+    let mut table = Table::new(
+        "Figure 10: % cost above optimal vs workload size",
+        &["goal", "20 queries", "25 queries", "30 queries"],
+    );
+    for (kind, goal, model) in &models {
+        let mut cells = vec![kind.name().to_string()];
+        for (si, &size) in sizes.iter().enumerate() {
+            let mut wise = Money::ZERO;
+            let mut opt = Money::ZERO;
+            let mut all_proven = true;
+            for rep in 0..scale.repeats() {
+                let seed = 10_000 + (si * 100 + rep) as u64;
+                let w = wisedb::sim::generator::uniform_workload(&spec, size, seed);
+                let s = model.schedule_batch(&w).expect("scheduling succeeds");
+                wise += total_cost(&spec, goal, &s).expect("cost computes");
+                let (o, proven) = oracle_cost(&spec, goal, &w);
+                all_proven &= proven;
+                opt += o;
+            }
+            cells.push(format!(
+                "{:+.1}%{}",
+                pct_above(wise, opt),
+                if all_proven { "" } else { "*" }
+            ));
+        }
+        table.row(&cells);
+    }
+    table.print();
+}

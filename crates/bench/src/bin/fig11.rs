@@ -1,0 +1,47 @@
+//! Figure 11: percent cost above optimal vs goal strictness
+//! (factor −0.4 … +0.4 around the default goals) for each goal kind.
+
+use wisedb::advisor::ModelGenerator;
+use wisedb::prelude::*;
+use wisedb_bench::{oracle_cost, pct_above, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let strictness = [-0.4, -0.2, 0.0, 0.2, 0.4];
+
+    let mut table = Table::new(
+        "Figure 11: % cost above optimal vs strictness factor",
+        &["goal", "-0.4", "-0.2", "0.0", "+0.2", "+0.4"],
+    );
+    for kind in GoalKind::ALL {
+        eprintln!("fig11: {}...", kind.name());
+        let base = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
+        let mut cells = vec![kind.name().to_string()];
+        for (si, &s) in strictness.iter().enumerate() {
+            let goal = base.tighten_pct(&spec, s);
+            let model = ModelGenerator::new(spec.clone(), goal.clone(), scale.training())
+                .train()
+                .expect("training succeeds");
+            let mut wise = Money::ZERO;
+            let mut opt = Money::ZERO;
+            let mut all_proven = true;
+            for rep in 0..scale.repeats() {
+                let seed = 11_000 + (si * 100 + rep) as u64;
+                let w = wisedb::sim::generator::uniform_workload(&spec, 30, seed);
+                let sched = model.schedule_batch(&w).expect("scheduling succeeds");
+                wise += total_cost(&spec, &goal, &sched).expect("cost computes");
+                let (o, proven) = oracle_cost(&spec, &goal, &w);
+                all_proven &= proven;
+                opt += o;
+            }
+            cells.push(format!(
+                "{:+.1}%{}",
+                pct_above(wise, opt),
+                if all_proven { "" } else { "*" }
+            ));
+        }
+        table.row(&cells);
+    }
+    table.print();
+}

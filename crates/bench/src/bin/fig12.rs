@@ -1,0 +1,44 @@
+//! Figure 12: cost with one vs two VM types, WiSeDB vs Optimal
+//! (30-query workloads; t2.medium alone, then t2.medium + t2.small).
+
+use wisedb::advisor::ModelGenerator;
+use wisedb::prelude::*;
+use wisedb_bench::{cents, oracle_cost, oracle_note, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec_1t = wisedb::sim::catalog::tpch_like(10);
+    let spec_2t = wisedb::sim::catalog::tpch_like_two_types(10);
+
+    let mut table = Table::new(
+        "Figure 12: cost with 1 vs 2 VM types (cents, 30-query workloads)",
+        &["goal", "WiSeDB 1T", "Optimal 1T", "WiSeDB 2T", "Optimal 2T"],
+    );
+    for kind in GoalKind::ALL {
+        eprintln!("fig12: {}...", kind.name());
+        let mut cells = vec![kind.name().to_string()];
+        for spec in [&spec_1t, &spec_2t] {
+            let goal = PerformanceGoal::paper_default(kind, spec).expect("defaults exist");
+            let model = ModelGenerator::new(spec.clone(), goal.clone(), scale.training())
+                .train()
+                .expect("training succeeds");
+            let mut wise = Money::ZERO;
+            let mut opt = Money::ZERO;
+            let mut all_proven = true;
+            for rep in 0..scale.repeats() {
+                let w = wisedb::sim::generator::uniform_workload(spec, 30, 12_000 + rep as u64);
+                let s = model.schedule_batch(&w).expect("scheduling succeeds");
+                wise += total_cost(spec, &goal, &s).expect("cost computes");
+                let (o, proven) = oracle_cost(spec, &goal, &w);
+                all_proven &= proven;
+                opt += o;
+            }
+            let n = scale.repeats() as f64;
+            cells.push(cents(wise / n));
+            cells.push(format!("{}{}", cents(opt / n), oracle_note(all_proven)));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!("Two VM types should never cost more than one: extra choice only helps.");
+}

@@ -1,0 +1,40 @@
+//! Figure 13: WiSeDB vs the metric-specific heuristics (FFD / FFI / Pack9)
+//! on 5000-query workloads, one group per goal kind. Dollar scale.
+
+use wisedb::prelude::*;
+use wisedb_bench::{dollars, train_all_goals, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    eprintln!("fig13: training models ({scale:?})...");
+    let models = train_all_goals(&spec, scale);
+
+    let mut table = Table::new(
+        "Figure 13: 5000-query workload cost (dollars)",
+        &["goal", "FFD", "FFI", "Pack9", "WiSeDB"],
+    );
+    for (kind, goal, model) in &models {
+        eprintln!("fig13: scheduling under {}...", kind.name());
+        let mut sums = [Money::ZERO; 4];
+        for rep in 0..scale.repeats() {
+            let w = wisedb::sim::generator::uniform_workload(&spec, 5000, 13_000 + rep as u64);
+            for (i, h) in Heuristic::ALL.iter().enumerate() {
+                let s = h.schedule(&spec, goal, &w).expect("baseline schedules");
+                sums[i] += total_cost(&spec, goal, &s).expect("cost computes");
+            }
+            let s = model.schedule_batch(&w).expect("model schedules");
+            sums[3] += total_cost(&spec, goal, &s).expect("cost computes");
+        }
+        let n = scale.repeats() as f64;
+        table.row(&[
+            kind.name().to_string(),
+            dollars(sums[0] / n),
+            dollars(sums[1] / n),
+            dollars(sums[2] / n),
+            dollars(sums[3] / n),
+        ]);
+    }
+    table.print();
+    println!("No single heuristic wins everywhere; WiSeDB should be at or near the best in every row.");
+}

@@ -1,0 +1,31 @@
+//! Figure 14: model training time vs number of query templates
+//! (5/10/15/20 templates, one VM type) for each goal kind.
+
+use wisedb::advisor::ModelGenerator;
+use wisedb::prelude::*;
+use wisedb_bench::{Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let template_counts = [5usize, 10, 15, 20];
+
+    let mut table = Table::new(
+        "Figure 14: training time (s) vs number of templates",
+        &["goal", "5", "10", "15", "20"],
+    );
+    for kind in GoalKind::ALL {
+        eprintln!("fig14: {}...", kind.name());
+        let mut cells = vec![kind.name().to_string()];
+        for &n in &template_counts {
+            let spec = wisedb::sim::catalog::tpch_like(n);
+            let goal = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
+            let model = ModelGenerator::new(spec, goal, scale.training())
+                .train()
+                .expect("training succeeds");
+            cells.push(format!("{:.2}", model.stats().training_secs));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!("Training grows with template count (more edges per search vertex).");
+}

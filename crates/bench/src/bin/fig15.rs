@@ -1,0 +1,31 @@
+//! Figure 15: model training time vs number of VM types
+//! (10 templates; 1/5/10 VM types) for each goal kind.
+
+use wisedb::advisor::ModelGenerator;
+use wisedb::prelude::*;
+use wisedb_bench::{Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let vm_type_counts = [1usize, 5, 10];
+
+    let mut table = Table::new(
+        "Figure 15: training time (s) vs number of VM types",
+        &["goal", "1 type", "5 types", "10 types"],
+    );
+    for kind in GoalKind::ALL {
+        eprintln!("fig15: {}...", kind.name());
+        let mut cells = vec![kind.name().to_string()];
+        for &k in &vm_type_counts {
+            let spec = wisedb::sim::catalog::tpch_like_k_types(10, k);
+            let goal = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
+            let model = ModelGenerator::new(spec, goal, scale.training())
+                .train()
+                .expect("training succeeds");
+            cells.push(format!("{:.2}", model.stats().training_secs));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!("More VM types add start-up edges and per-type placement choices to every vertex.");
+}

@@ -1,0 +1,39 @@
+//! Figure 17: batch scheduling overhead vs batch size (10k/20k/30k
+//! queries). The decision tree is parsed once per action, so scheduling is
+//! `O(h·n)` and should scale linearly.
+
+use std::time::Instant;
+
+use wisedb::prelude::*;
+use wisedb_bench::{Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).expect("defaults");
+    eprintln!("fig17: training...");
+    let model = wisedb::advisor::ModelGenerator::new(spec.clone(), goal, scale.training())
+        .train()
+        .expect("training succeeds");
+
+    let sizes = [10_000usize, 20_000, 30_000];
+    let mut table = Table::new(
+        "Figure 17: scheduling time (s) vs batch size",
+        &["batch size", "time (s)", "per-query (µs)", "VMs provisioned"],
+    );
+    for &size in &sizes {
+        let w = wisedb::sim::generator::uniform_workload(&spec, size, 17_000);
+        let start = Instant::now();
+        let schedule = model.schedule_batch(&w).expect("scheduling succeeds");
+        let secs = start.elapsed().as_secs_f64();
+        schedule.validate_complete(&w).expect("complete schedule");
+        table.row(&[
+            format!("{size}"),
+            format!("{secs:.3}"),
+            format!("{:.1}", secs * 1e6 / size as f64),
+            format!("{}", schedule.num_vms()),
+        ]);
+    }
+    table.print();
+    println!("Per-query time should stay flat (linear scaling), ~1.5s for 30k in the paper.");
+}

@@ -1,0 +1,70 @@
+//! Figure 19: average per-query scheduling overhead under the online
+//! optimizations (Shift+Reuse / Shift / Reuse / None), arrivals
+//! ~ N(250 ms, 125 ms) as in §7.4.
+
+use wisedb::advisor::{ArrivingQuery, OnlineConfig, OnlineScheduler};
+use wisedb::prelude::*;
+use wisedb::sim::Arrivals;
+use wisedb_bench::{Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let n = 30usize;
+
+    let mut table = Table::new(
+        "Figure 19: mean online scheduling overhead per query (ms)",
+        &["goal", "Shift+Reuse", "Shift", "Reuse", "None"],
+    );
+    // Retraining inside the online loop uses a reduced budget, as any
+    // deployment would: the base model is trained at full scale once.
+    let mut retrain_cfg = scale.training();
+    retrain_cfg.num_samples = (retrain_cfg.num_samples / 4).max(50);
+
+    for kind in GoalKind::ALL {
+        eprintln!("fig19: {}...", kind.name());
+        let goal = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
+        let workload = wisedb::sim::generator::uniform_workload(&spec, n, 19_001);
+        let times = Arrivals::Normal {
+            mean_secs: 0.25,
+            std_secs: 0.125,
+        }
+        .times(n, 19_002);
+        let stream: Vec<ArrivingQuery> = workload
+            .queries()
+            .iter()
+            .zip(times)
+            .map(|(q, arrival)| ArrivingQuery {
+                template: q.template,
+                arrival,
+            })
+            .collect();
+
+        let mut cells = vec![kind.name().to_string()];
+        for (reuse, shift) in [(true, true), (false, true), (true, false), (false, false)] {
+            let mut scheduler = OnlineScheduler::train(
+                spec.clone(),
+                goal.clone(),
+                OnlineConfig {
+                    reuse,
+                    shift,
+                    training: retrain_cfg.clone(),
+                    ..OnlineConfig::default()
+                },
+            )
+            .expect("training succeeds");
+            let report = scheduler.run(&stream).expect("replay succeeds");
+            cells.push(format!(
+                "{:.0} (r{} h{} s{})",
+                report.mean_overhead_secs() * 1e3,
+                report.retrains,
+                report.cache_hits,
+                report.shifts
+            ));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!("(r = full retrains, h = cache hits, s = shift-derived models)");
+    println!("Shift applies only to deadline goals; Average/Percent rely on Reuse alone.");
+}

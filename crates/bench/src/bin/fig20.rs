@@ -1,0 +1,57 @@
+//! Figure 20: sensitivity to skewed runtime workloads — percent cost above
+//! optimal vs the χ² confidence that the batch is not uniform.
+
+use wisedb::prelude::*;
+use wisedb::sim::stats;
+use wisedb_bench::{oracle_cost, pct_above, train_all_goals, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    eprintln!("fig20: training models ({scale:?})...");
+    let models = train_all_goals(&spec, scale);
+    let skews = [0.0f64, 0.25, 0.5, 0.75, 1.0];
+
+    let mut table = Table::new(
+        "Figure 20: % cost above optimal vs workload skew",
+        &["goal", "χ²≈0.0", "χ²≈0.25", "χ²≈0.5", "χ²≈0.75", "χ²≈1.0"],
+    );
+    let mut mean_conf = vec![0.0f64; skews.len()];
+    for (kind, goal, model) in &models {
+        let mut cells = vec![kind.name().to_string()];
+        for (si, &skew) in skews.iter().enumerate() {
+            let mut wise = Money::ZERO;
+            let mut opt = Money::ZERO;
+            let mut all_proven = true;
+            for rep in 0..scale.repeats() {
+                let seed = 20_000 + (si * 100 + rep) as u64;
+                let w = wisedb::sim::generator::skewed_workload(&spec, 30, skew, seed);
+                let counts = w.template_counts(spec.num_templates());
+                mean_conf[si] += stats::chi_squared_confidence(
+                    stats::chi_squared_stat(&counts),
+                    spec.num_templates() - 1,
+                );
+                let s = model.schedule_batch(&w).expect("scheduling succeeds");
+                wise += total_cost(&spec, goal, &s).expect("cost computes");
+                let (o, proven) = oracle_cost(&spec, goal, &w);
+                all_proven &= proven;
+                opt += o;
+            }
+            cells.push(format!(
+                "{:+.1}%{}",
+                pct_above(wise, opt),
+                if all_proven { "" } else { "*" }
+            ));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    let n = (scale.repeats() * models.len()) as f64;
+    println!(
+        "Measured χ² confidences at the five skew settings: {:?}",
+        mean_conf
+            .iter()
+            .map(|c| format!("{:.2}", c / n))
+            .collect::<Vec<_>>()
+    );
+}

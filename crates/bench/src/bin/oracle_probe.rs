@@ -1,0 +1,22 @@
+//! Diagnostic: exact-oracle scalability on the paper's 30-query / 10-template
+//! workloads, per goal kind. Prints cost, proof status, and search effort.
+
+fn main() {
+    use wisedb::prelude::*;
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        let workload = wisedb::sim::generator::uniform_workload(&spec, 30, 42);
+        let t = std::time::Instant::now();
+        let r = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
+        println!(
+            "{:<10} cost={} optimal={} expanded={} reopened={} time={:.2}s",
+            kind.name(),
+            r.cost,
+            r.stats.optimal,
+            r.stats.expanded,
+            r.stats.reopened,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Runs every figure report in sequence (`fig09` … `fig22`). Equivalent to
+//! invoking each binary yourself; handy for regenerating EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig18", "fig19", "fig20", "fig21", "fig22",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    for fig in figs {
+        println!("\n########## {fig} ##########");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            eprintln!("{fig} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! # wisedb-bench
+//!
+//! The benchmark harness that regenerates every data-bearing figure of the
+//! WiSeDB evaluation (§7, Figures 9–22). One report binary per figure
+//! (`cargo run -p wisedb-bench --release --bin figNN`), plus Criterion
+//! benches for the timing-centric figures.
+//!
+//! Scale is controlled by the `WISEDB_SCALE` environment variable:
+//!
+//! * `quick` — minutes-scale smoke run (small training sets, few repeats);
+//! * `std` *(default)* — the calibration used for EXPERIMENTS.md;
+//! * `paper` — the paper's full N = 3000 × m = 18 training configuration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io::Write as _;
+
+use wisedb_advisor::{ModelConfig, ModelGenerator};
+use wisedb_core::{GoalKind, Money, PerformanceGoal, WorkloadSpec};
+
+pub mod table;
+
+pub use table::Table;
+
+/// Benchmark scale, from `WISEDB_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale.
+    Quick,
+    /// Default calibration.
+    Std,
+    /// The paper's configuration.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `WISEDB_SCALE` (default [`Scale::Std`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("WISEDB_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Std,
+        }
+    }
+
+    /// Training configuration at this scale.
+    pub fn training(self) -> ModelConfig {
+        match self {
+            Scale::Quick => ModelConfig {
+                num_samples: 150,
+                sample_size: 9,
+                seed: 0xBE7C4,
+                ..ModelConfig::fast()
+            },
+            Scale::Std => ModelConfig {
+                num_samples: 800,
+                sample_size: 12,
+                seed: 0xBE7C4,
+                ..ModelConfig::fast()
+            },
+            Scale::Paper => ModelConfig {
+                seed: 0xBE7C4,
+                ..ModelConfig::paper()
+            },
+        }
+    }
+
+    /// Workloads averaged per measured point (the paper uses 5).
+    pub fn repeats(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Std | Scale::Paper => 5,
+        }
+    }
+}
+
+/// Trains one model per goal kind on `spec`, reporting progress.
+pub fn train_all_goals(
+    spec: &WorkloadSpec,
+    scale: Scale,
+) -> Vec<(GoalKind, PerformanceGoal, wisedb_advisor::DecisionModel)> {
+    GoalKind::ALL
+        .iter()
+        .map(|&kind| {
+            let goal = PerformanceGoal::paper_default(kind, spec)
+                .expect("catalog specs always admit defaults");
+            eprint!("  training {} model... ", kind.name());
+            std::io::stderr().flush().ok();
+            let model = ModelGenerator::new(spec.clone(), goal.clone(), scale.training())
+                .train()
+                .expect("training on catalog specs succeeds");
+            eprintln!("{:.2}s", model.stats().training_secs);
+            (kind, goal, model)
+        })
+        .collect()
+}
+
+/// `(x / reference − 1)` as a percentage; the "% above optimal" metric.
+pub fn pct_above(x: Money, reference: Money) -> f64 {
+    if reference.as_dollars() <= 0.0 {
+        return 0.0;
+    }
+    (x.as_dollars() / reference.as_dollars() - 1.0) * 100.0
+}
+
+/// The optimal-schedule oracle used by the "vs Optimal" figures: A* with a
+/// node budget (override with `WISEDB_ORACLE_LIMIT`). Returns the cost and
+/// whether optimality was *proven* (limit not hit); unproven values are
+/// best-found upper bounds and are flagged in the reports.
+pub fn oracle_cost(
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    workload: &wisedb_core::Workload,
+) -> (Money, bool) {
+    let limit = std::env::var("WISEDB_ORACLE_LIMIT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000usize);
+    let result = wisedb_search::AStarSearcher::new(spec, goal)
+        .with_config(wisedb_search::SearchConfig { node_limit: limit })
+        .solve(workload)
+        .expect("oracle search on catalog specs succeeds");
+    (result.cost, result.stats.optimal)
+}
+
+/// Formats an oracle cost, starring unproven (upper-bound) values.
+pub fn oracle_note(proven: bool) -> &'static str {
+    if proven {
+        ""
+    } else {
+        "*"
+    }
+}
+
+/// Formats money in the paper's cents.
+pub fn cents(m: Money) -> String {
+    format!("{:.1}", m.as_cents())
+}
+
+/// Formats money in dollars.
+pub fn dollars(m: Money) -> String {
+    format!("{:.2}", m.as_dollars())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_above_basics() {
+        assert_eq!(
+            pct_above(Money::from_dollars(1.10), Money::from_dollars(1.0)),
+            10.000000000000009
+        );
+        assert_eq!(pct_above(Money::ZERO, Money::ZERO), 0.0);
+    }
+
+    #[test]
+    fn scale_configs_are_ordered() {
+        assert!(Scale::Quick.training().num_samples < Scale::Std.training().num_samples);
+        assert!(Scale::Std.training().num_samples < Scale::Paper.training().num_samples);
+        assert_eq!(Scale::Paper.training().num_samples, 3000);
+        assert_eq!(Scale::Paper.training().sample_size, 18);
+    }
+}

@@ -1,0 +1,156 @@
+//! The total cost model of Equation 1:
+//!
+//! ```text
+//! cost(R, S) = Σ_{vm ∈ S} [ f_s + Σ_{q ∈ vm} f_r * l(q, i) ] + p(R, S)
+//! ```
+//!
+//! i.e. per-VM start-up fees, rental for the time each query occupies its VM,
+//! plus the SLA penalty of the realized latencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreResult;
+use crate::goal::PerformanceGoal;
+use crate::money::Money;
+use crate::schedule::Schedule;
+use crate::spec::WorkloadSpec;
+
+/// The three components of a schedule's total cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Sum of per-VM start-up fees `f_s`.
+    pub startup: Money,
+    /// Rental cost of query processing time `Σ f_r * l(q, i)`.
+    pub runtime: Money,
+    /// SLA penalty `p(R, S)`.
+    pub penalty: Money,
+}
+
+impl CostBreakdown {
+    /// The total cost `cost(R, S)`.
+    pub fn total(&self) -> Money {
+        self.startup + self.runtime + self.penalty
+    }
+}
+
+/// Computes the cost breakdown of `schedule` under `goal`.
+pub fn cost_breakdown(
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    schedule: &Schedule,
+) -> CoreResult<CostBreakdown> {
+    let mut startup = Money::ZERO;
+    let mut runtime = Money::ZERO;
+    for vm in &schedule.vms {
+        let vm_type = spec.vm_type(vm.vm_type)?;
+        startup += vm_type.startup_cost;
+        runtime += vm_type.runtime_cost(vm.busy_time(spec)?);
+    }
+    let latencies = schedule.query_latencies(spec)?;
+    let penalty = goal.penalty(&latencies);
+    Ok(CostBreakdown {
+        startup,
+        runtime,
+        penalty,
+    })
+}
+
+/// Computes the total cost `cost(R, S)` of `schedule` under `goal`.
+pub fn total_cost(
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    schedule: &Schedule,
+) -> CoreResult<Money> {
+    Ok(cost_breakdown(spec, goal, schedule)?.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::PenaltyRate;
+    use crate::schedule::{Placement, VmInstance};
+    use crate::template::TemplateId;
+    use crate::time::Millis;
+    use crate::vm::{VmType, VmTypeId};
+    use crate::workload::QueryId;
+
+    fn fig3() -> (WorkloadSpec, PerformanceGoal) {
+        let spec = WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap();
+        let goal = PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        (spec, goal)
+    }
+
+    fn place(q: u32, t: u32) -> Placement {
+        Placement {
+            query: QueryId(q),
+            template: TemplateId(t),
+        }
+    }
+
+    #[test]
+    fn figure_three_scenarios_rank_as_in_the_paper() {
+        let (spec, goal) = fig3();
+        // Scenario 1: three VMs, no violations.
+        let s1 = Schedule {
+            vms: vec![
+                VmInstance {
+                    vm_type: VmTypeId(0),
+                    queue: vec![place(1, 1), place(0, 0)],
+                },
+                VmInstance {
+                    vm_type: VmTypeId(0),
+                    queue: vec![place(2, 1)],
+                },
+                VmInstance {
+                    vm_type: VmTypeId(0),
+                    queue: vec![place(3, 1)],
+                },
+            ],
+        };
+        // Scenario 2: two VMs, q2 violates by 2m and q4 by 1m.
+        let s2 = Schedule {
+            vms: vec![
+                VmInstance {
+                    vm_type: VmTypeId(0),
+                    queue: vec![place(0, 0), place(1, 1)],
+                },
+                VmInstance {
+                    vm_type: VmTypeId(0),
+                    queue: vec![place(2, 1), place(3, 1)],
+                },
+            ],
+        };
+
+        let b1 = cost_breakdown(&spec, &goal, &s1).unwrap();
+        let b2 = cost_breakdown(&spec, &goal, &s2).unwrap();
+
+        assert_eq!(b1.penalty, Money::ZERO);
+        assert!(b2.penalty.approx_eq(Money::from_dollars(1.80), 1e-9));
+
+        // Processing time is 5 query-minutes either way.
+        assert!(b1
+            .runtime
+            .approx_eq(Money::from_dollars(0.052 * 5.0 / 60.0), 1e-12));
+        assert!(b2.runtime.approx_eq(b1.runtime, 1e-12));
+
+        // Scenario 1 pays one extra start-up fee but avoids $1.80 of
+        // penalty, so it is cheaper overall — exactly the paper's point.
+        assert!(b1.total() < b2.total());
+        assert!(b1.startup.approx_eq(Money::from_dollars(0.0024), 1e-12));
+        assert!(b2.startup.approx_eq(Money::from_dollars(0.0016), 1e-12));
+    }
+
+    #[test]
+    fn empty_schedule_costs_nothing() {
+        let (spec, goal) = fig3();
+        let b = cost_breakdown(&spec, &goal, &Schedule::empty()).unwrap();
+        assert_eq!(b.total(), Money::ZERO);
+    }
+}

@@ -1,0 +1,148 @@
+//! Error types shared across the WiSeDB crates.
+
+use std::fmt;
+
+use crate::template::TemplateId;
+use crate::vm::VmTypeId;
+
+/// Errors arising from invalid specifications, workloads, or schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The specification has no query templates.
+    NoTemplates,
+    /// The specification has no VM types.
+    NoVmTypes,
+    /// A template's latency vector does not have one entry per VM type.
+    LatencyArityMismatch {
+        /// Offending template.
+        template: TemplateId,
+        /// Entries the template has.
+        got: usize,
+        /// Number of VM types in the spec.
+        expected: usize,
+    },
+    /// A template is not supported on any VM type, so no complete schedule
+    /// can exist.
+    UnschedulableTemplate {
+        /// Offending template.
+        template: TemplateId,
+    },
+    /// A template has a zero latency entry, which breaks the cost model's
+    /// assumption that every placement consumes VM time.
+    ZeroLatency {
+        /// Offending template.
+        template: TemplateId,
+        /// VM type with the zero entry.
+        vm_type: VmTypeId,
+    },
+    /// A schedule references a template id outside the specification.
+    UnknownTemplate {
+        /// Offending template.
+        template: TemplateId,
+    },
+    /// A schedule references a VM type id outside the specification.
+    UnknownVmType {
+        /// Offending VM type.
+        vm_type: VmTypeId,
+    },
+    /// A query was placed on a VM type that cannot process its template.
+    UnsupportedPlacement {
+        /// Template of the placed query.
+        template: TemplateId,
+        /// VM type it was placed on.
+        vm_type: VmTypeId,
+    },
+    /// A schedule does not place exactly the queries of the workload
+    /// (something is missing, duplicated, or foreign).
+    IncompleteSchedule {
+        /// Diagnostic message naming the first discrepancy.
+        detail: String,
+    },
+    /// A percentile goal was constructed with a percent outside (0, 100].
+    InvalidPercentile {
+        /// The rejected percent value.
+        percent: f64,
+    },
+    /// A per-query goal's deadline vector does not match the template count.
+    DeadlineArityMismatch {
+        /// Entries the goal has.
+        got: usize,
+        /// Number of templates in the spec.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoTemplates => write!(f, "workload specification has no query templates"),
+            CoreError::NoVmTypes => write!(f, "workload specification has no VM types"),
+            CoreError::LatencyArityMismatch {
+                template,
+                got,
+                expected,
+            } => write!(
+                f,
+                "template {template} has {got} latency entries but the spec has {expected} VM types"
+            ),
+            CoreError::UnschedulableTemplate { template } => {
+                write!(f, "template {template} is not supported on any VM type")
+            }
+            CoreError::ZeroLatency { template, vm_type } => {
+                write!(f, "template {template} has zero latency on {vm_type}")
+            }
+            CoreError::UnknownTemplate { template } => {
+                write!(f, "template {template} is not part of the specification")
+            }
+            CoreError::UnknownVmType { vm_type } => {
+                write!(f, "{vm_type} is not part of the specification")
+            }
+            CoreError::UnsupportedPlacement { template, vm_type } => {
+                write!(f, "template {template} cannot be processed on {vm_type}")
+            }
+            CoreError::IncompleteSchedule { detail } => {
+                write!(f, "schedule does not cover the workload exactly: {detail}")
+            }
+            CoreError::InvalidPercentile { percent } => {
+                write!(f, "percentile goals require 0 < percent <= 100, got {percent}")
+            }
+            CoreError::DeadlineArityMismatch { got, expected } => write!(
+                f,
+                "per-query goal has {got} deadlines but the spec has {expected} templates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = CoreError::UnsupportedPlacement {
+            template: TemplateId(2),
+            vm_type: VmTypeId(1),
+        };
+        assert_eq!(e.to_string(), "template T3 cannot be processed on VM-type1");
+
+        let e = CoreError::LatencyArityMismatch {
+            template: TemplateId(0),
+            got: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("T1"));
+        assert!(e.to_string().contains("2 VM types"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::NoTemplates);
+        assert!(e.to_string().contains("no query templates"));
+    }
+}

@@ -1,0 +1,730 @@
+//! Performance goals (SLAs) and their penalty semantics.
+//!
+//! WiSeDB supports four latency-oriented goal classes (§2):
+//!
+//! 1. **Per-query deadline** — each template has its own latency upper bound.
+//! 2. **Max latency** — one upper bound on every query's latency.
+//! 3. **Average latency** — an upper bound on the workload's mean latency.
+//! 4. **Percentile** — at least `p`% of queries must finish within a bound.
+//!
+//! Penalties follow the violation-period model of §3: a fixed rate is charged
+//! per unit of time during which the goal was not met. Each goal also knows
+//! whether it is *monotonically increasing* (adding a query never lowers the
+//! penalty — enables the admissible A* heuristic of Eq. 3) and whether it is
+//! *linearly shiftable* (delaying all queries by `n` equals tightening the
+//! goal by `n` — enables the online Shift optimization of §6.3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, CoreResult};
+use crate::money::{Money, PenaltyRate};
+use crate::schedule::QueryLatency;
+use crate::spec::WorkloadSpec;
+use crate::template::TemplateId;
+use crate::time::Millis;
+
+/// Which of the four goal classes a goal belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GoalKind {
+    /// Per-template deadlines.
+    PerQuery,
+    /// One deadline for every query.
+    MaxLatency,
+    /// Bound on the workload's mean latency.
+    AverageLatency,
+    /// `percent`% of queries within a deadline.
+    Percentile,
+}
+
+impl GoalKind {
+    /// All four kinds, in the order the paper's figures list them.
+    pub const ALL: [GoalKind; 4] = [
+        GoalKind::PerQuery,
+        GoalKind::AverageLatency,
+        GoalKind::MaxLatency,
+        GoalKind::Percentile,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            GoalKind::PerQuery => "PerQuery",
+            GoalKind::MaxLatency => "Max",
+            GoalKind::AverageLatency => "Average",
+            GoalKind::Percentile => "Percent",
+        }
+    }
+}
+
+/// An application-defined performance goal with its penalty rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PerformanceGoal {
+    /// Queries of template `i` must finish within `deadlines[i]`.
+    PerQuery {
+        /// Deadline per template, indexed by [`TemplateId`].
+        deadlines: Vec<Millis>,
+        /// Charge per unit of violation time.
+        rate: PenaltyRate,
+    },
+    /// No query may exceed `deadline`.
+    MaxLatency {
+        /// Workload-wide latency bound.
+        deadline: Millis,
+        /// Charge per unit of violation time.
+        rate: PenaltyRate,
+    },
+    /// The workload's mean latency must not exceed `target`.
+    AverageLatency {
+        /// Mean-latency bound.
+        target: Millis,
+        /// Charge per unit the mean exceeds the bound.
+        rate: PenaltyRate,
+    },
+    /// At least `percent`% of queries must finish within `deadline`.
+    Percentile {
+        /// Required fraction, in (0, 100].
+        percent: f64,
+        /// Latency bound for that fraction.
+        deadline: Millis,
+        /// Charge per unit of violation time.
+        rate: PenaltyRate,
+    },
+}
+
+impl PerformanceGoal {
+    /// The goal's class.
+    pub fn kind(&self) -> GoalKind {
+        match self {
+            PerformanceGoal::PerQuery { .. } => GoalKind::PerQuery,
+            PerformanceGoal::MaxLatency { .. } => GoalKind::MaxLatency,
+            PerformanceGoal::AverageLatency { .. } => GoalKind::AverageLatency,
+            PerformanceGoal::Percentile { .. } => GoalKind::Percentile,
+        }
+    }
+
+    /// Builds the paper's default goal of the given kind for `spec` (§7.1):
+    /// per-query deadlines of 3x the template latency; max/average/percentile
+    /// deadlines of 2.5x the longest/mean template latency; 90th percentile;
+    /// one cent per second of violation.
+    pub fn paper_default(kind: GoalKind, spec: &WorkloadSpec) -> CoreResult<Self> {
+        let rate = PenaltyRate::CENT_PER_SECOND;
+        let expected: Vec<Millis> = spec
+            .templates()
+            .iter()
+            .map(|t| {
+                t.latencies
+                    .first()
+                    .copied()
+                    .flatten()
+                    .or_else(|| t.min_latency())
+                    .unwrap_or(Millis::ZERO)
+            })
+            .collect();
+        if expected.is_empty() {
+            return Err(CoreError::NoTemplates);
+        }
+        let longest = expected.iter().copied().max().unwrap_or(Millis::ZERO);
+        let mean = expected.iter().copied().sum::<Millis>() / expected.len() as u64;
+        Ok(match kind {
+            GoalKind::PerQuery => PerformanceGoal::PerQuery {
+                deadlines: expected.iter().map(|l| l.mul_f64(3.0)).collect(),
+                rate,
+            },
+            GoalKind::MaxLatency => PerformanceGoal::MaxLatency {
+                deadline: longest.mul_f64(2.5),
+                rate,
+            },
+            GoalKind::AverageLatency => PerformanceGoal::AverageLatency {
+                target: mean.mul_f64(2.5),
+                rate,
+            },
+            GoalKind::Percentile => PerformanceGoal::Percentile {
+                percent: 90.0,
+                deadline: mean.mul_f64(2.5),
+                rate,
+            },
+        })
+    }
+
+    /// Validates the goal against a specification.
+    pub fn validate_against(&self, spec: &WorkloadSpec) -> CoreResult<()> {
+        match self {
+            PerformanceGoal::PerQuery { deadlines, .. } => {
+                if deadlines.len() != spec.num_templates() {
+                    return Err(CoreError::DeadlineArityMismatch {
+                        got: deadlines.len(),
+                        expected: spec.num_templates(),
+                    });
+                }
+            }
+            PerformanceGoal::Percentile { percent, .. } => {
+                if !(*percent > 0.0 && *percent <= 100.0) {
+                    return Err(CoreError::InvalidPercentile { percent: *percent });
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// `true` iff the penalty never decreases when a query is appended to
+    /// the most recent VM (§4.3). Holds for per-query and max-latency goals;
+    /// fails for averages (a short query can lower the mean) and percentiles
+    /// (an on-time query can push the percentile below the deadline).
+    pub fn is_monotone(&self) -> bool {
+        matches!(
+            self,
+            PerformanceGoal::PerQuery { .. } | PerformanceGoal::MaxLatency { .. }
+        )
+    }
+
+    /// `true` iff scheduling after a delay of `n` equals scheduling
+    /// immediately under the goal tightened by `n` (§6.3.1). Deadline-style
+    /// goals qualify; mean-based goals do not tighten uniformly per query.
+    pub fn is_linearly_shiftable(&self) -> bool {
+        matches!(
+            self,
+            PerformanceGoal::PerQuery { .. } | PerformanceGoal::MaxLatency { .. }
+        )
+    }
+
+    /// The penalty rate in force.
+    pub fn rate(&self) -> PenaltyRate {
+        match self {
+            PerformanceGoal::PerQuery { rate, .. }
+            | PerformanceGoal::MaxLatency { rate, .. }
+            | PerformanceGoal::AverageLatency { rate, .. }
+            | PerformanceGoal::Percentile { rate, .. } => *rate,
+        }
+    }
+
+    /// The penalty `p(R, S)` of a (partial or complete) set of realized
+    /// query latencies.
+    pub fn penalty(&self, latencies: &[QueryLatency]) -> Money {
+        let mut tracker = self.new_tracker();
+        for l in latencies {
+            tracker.push(self, l.template, l.latency);
+        }
+        tracker.penalty(self)
+    }
+
+    /// Starts an incremental penalty computation (used by the scheduling
+    /// graph, where each placement edge carries `p(R, v_s) - p(R, u_s)`).
+    pub fn new_tracker(&self) -> PenaltyTracker {
+        match self {
+            PerformanceGoal::PerQuery { .. } | PerformanceGoal::MaxLatency { .. } => {
+                PenaltyTracker::Incremental { total: Money::ZERO }
+            }
+            PerformanceGoal::AverageLatency { .. } => PenaltyTracker::Average {
+                sum_ms: 0,
+                count: 0,
+            },
+            PerformanceGoal::Percentile { .. } => PenaltyTracker::Percentile {
+                sorted_ms: Vec::new(),
+            },
+        }
+    }
+
+    /// Tightens (p > 0) or loosens (p < 0) the goal by fraction `p` of the
+    /// gap between the current constraint and the strictest feasible one,
+    /// following §7.3: `new = t + (g - t) * (1 - p)` where `t` is the floor
+    /// and `g` the current value. `p = 1` lands exactly on the floor; values
+    /// beyond 1 clamp to it.
+    pub fn tighten_pct(&self, spec: &WorkloadSpec, p: f64) -> Self {
+        fn interpolate(current: Millis, floor: Millis, p: f64) -> Millis {
+            if p >= 1.0 {
+                return floor;
+            }
+            let g = current.as_secs_f64();
+            let t = floor.as_secs_f64();
+            let new = t + (g - t) * (1.0 - p);
+            Millis::from_secs_f64(new.max(t))
+        }
+        match self {
+            PerformanceGoal::PerQuery { deadlines, rate } => {
+                let floors: Vec<Millis> = spec
+                    .templates()
+                    .iter()
+                    .map(|t| t.min_latency().unwrap_or(Millis::ZERO))
+                    .collect();
+                PerformanceGoal::PerQuery {
+                    deadlines: deadlines
+                        .iter()
+                        .zip(floors)
+                        .map(|(&d, f)| interpolate(d, f, p))
+                        .collect(),
+                    rate: *rate,
+                }
+            }
+            PerformanceGoal::MaxLatency { deadline, rate } => PerformanceGoal::MaxLatency {
+                deadline: interpolate(*deadline, spec.strictest_feasible_deadline(), p),
+                rate: *rate,
+            },
+            PerformanceGoal::AverageLatency { target, rate } => {
+                PerformanceGoal::AverageLatency {
+                    target: interpolate(*target, spec.mean_min_latency(), p),
+                    rate: *rate,
+                }
+            }
+            PerformanceGoal::Percentile {
+                percent,
+                deadline,
+                rate,
+            } => PerformanceGoal::Percentile {
+                percent: *percent,
+                deadline: interpolate(*deadline, spec.mean_min_latency(), p),
+                rate: *rate,
+            },
+        }
+    }
+
+    /// For linearly shiftable goals: the goal as seen by a query that has
+    /// already waited `elapsed` before scheduling began. Returns `None` for
+    /// goals that are not linearly shiftable.
+    pub fn shift(&self, elapsed: Millis) -> Option<Self> {
+        match self {
+            PerformanceGoal::PerQuery { deadlines, rate } => Some(PerformanceGoal::PerQuery {
+                deadlines: deadlines
+                    .iter()
+                    .map(|d| d.saturating_sub(elapsed))
+                    .collect(),
+                rate: *rate,
+            }),
+            PerformanceGoal::MaxLatency { deadline, rate } => {
+                Some(PerformanceGoal::MaxLatency {
+                    deadline: deadline.saturating_sub(elapsed),
+                    rate: *rate,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// For goals with per-template deadlines, extends the deadline vector to
+    /// cover extra (e.g. "aged") templates appended to the spec.
+    pub fn with_extra_deadline(&self, deadline: Millis) -> Self {
+        match self {
+            PerformanceGoal::PerQuery { deadlines, rate } => {
+                let mut deadlines = deadlines.clone();
+                deadlines.push(deadline);
+                PerformanceGoal::PerQuery {
+                    deadlines,
+                    rate: *rate,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Incremental penalty state. Pushing a completion returns the penalty
+/// *delta*, so graph edges get `p(R, v_s) - p(R, u_s)` directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PenaltyTracker {
+    /// Per-query and max-latency goals: each placement's violation is final
+    /// when it happens, so a running total suffices.
+    Incremental {
+        /// Penalty accumulated so far.
+        total: Money,
+    },
+    /// Average-latency goals need the latency sum and count.
+    Average {
+        /// Sum of completion latencies, in milliseconds.
+        sum_ms: u128,
+        /// Number of completions.
+        count: u64,
+    },
+    /// Percentile goals need the whole latency distribution.
+    Percentile {
+        /// Completion latencies in ascending order, in milliseconds.
+        sorted_ms: Vec<u64>,
+    },
+}
+
+impl PenaltyTracker {
+    /// Records a completion and returns the resulting penalty delta
+    /// (which may be negative for non-monotone goals).
+    pub fn push(
+        &mut self,
+        goal: &PerformanceGoal,
+        template: TemplateId,
+        completion: Millis,
+    ) -> Money {
+        let before = self.penalty(goal);
+        match (self, goal) {
+            (
+                PenaltyTracker::Incremental { total },
+                PerformanceGoal::PerQuery { deadlines, rate },
+            ) => {
+                let deadline = deadlines
+                    .get(template.index())
+                    .copied()
+                    .unwrap_or(Millis::ZERO);
+                let violation = completion.saturating_sub(deadline);
+                let delta = rate.for_violation(violation);
+                *total += delta;
+                delta
+            }
+            (
+                PenaltyTracker::Incremental { total },
+                PerformanceGoal::MaxLatency { deadline, rate },
+            ) => {
+                let violation = completion.saturating_sub(*deadline);
+                let delta = rate.for_violation(violation);
+                *total += delta;
+                delta
+            }
+            (this @ PenaltyTracker::Average { .. }, PerformanceGoal::AverageLatency { .. }) => {
+                if let PenaltyTracker::Average { sum_ms, count } = this {
+                    *sum_ms += completion.as_millis() as u128;
+                    *count += 1;
+                }
+                this.penalty(goal) - before
+            }
+            (
+                this @ PenaltyTracker::Percentile { .. },
+                PerformanceGoal::Percentile { .. },
+            ) => {
+                if let PenaltyTracker::Percentile { sorted_ms } = this {
+                    let ms = completion.as_millis();
+                    let pos = sorted_ms.partition_point(|&x| x <= ms);
+                    sorted_ms.insert(pos, ms);
+                }
+                this.penalty(goal) - before
+            }
+            _ => panic!("penalty tracker used with a goal of a different kind"),
+        }
+    }
+
+    /// The penalty of everything pushed so far.
+    pub fn penalty(&self, goal: &PerformanceGoal) -> Money {
+        match (self, goal) {
+            (PenaltyTracker::Incremental { total }, _) => *total,
+            (
+                PenaltyTracker::Average { sum_ms, count },
+                PerformanceGoal::AverageLatency { target, rate },
+            ) => {
+                if *count == 0 {
+                    return Money::ZERO;
+                }
+                let mean = Millis::from_millis((*sum_ms / *count as u128) as u64);
+                rate.for_violation(mean.saturating_sub(*target))
+            }
+            (
+                PenaltyTracker::Percentile { sorted_ms },
+                PerformanceGoal::Percentile {
+                    percent,
+                    deadline,
+                    rate,
+                },
+            ) => {
+                if sorted_ms.is_empty() {
+                    return Money::ZERO;
+                }
+                // Nearest-rank percentile: the k-th smallest latency with
+                // k = ceil(percent/100 * n) is the latency within which
+                // `percent`% of queries finished.
+                let n = sorted_ms.len();
+                let k = ((percent / 100.0) * n as f64).ceil() as usize;
+                let k = k.clamp(1, n);
+                let at_percentile = Millis::from_millis(sorted_ms[k - 1]);
+                rate.for_violation(at_percentile.saturating_sub(*deadline))
+            }
+            _ => panic!("penalty tracker used with a goal of a different kind"),
+        }
+    }
+
+    /// A hashable digest of exactly the state that can influence *future*
+    /// penalty deltas. A* uses it to deduplicate partial schedules: two
+    /// vertices whose digests (and remaining work) match are interchangeable
+    /// cost-wise.
+    pub fn digest(&self) -> PenaltyDigest {
+        match self {
+            // Per-query/max penalties are already folded into path cost and
+            // future deltas depend only on future completions.
+            PenaltyTracker::Incremental { .. } => PenaltyDigest::None,
+            PenaltyTracker::Average { sum_ms, count } => PenaltyDigest::Average {
+                sum_ms: *sum_ms,
+                count: *count,
+            },
+            PenaltyTracker::Percentile { sorted_ms } => {
+                PenaltyDigest::Percentile(sorted_ms.clone())
+            }
+        }
+    }
+}
+
+/// Hashable summary of penalty-relevant state; see
+/// [`PenaltyTracker::digest`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PenaltyDigest {
+    /// Future penalties do not depend on past completions.
+    None,
+    /// Mean-tracking state.
+    Average {
+        /// Sum of completion latencies (ms).
+        sum_ms: u128,
+        /// Number of completions.
+        count: u64,
+    },
+    /// Full latency distribution (ms, ascending).
+    Percentile(Vec<u64>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmType;
+    use crate::workload::QueryId;
+
+    fn lat(q: u32, t: u32, mins: u64) -> QueryLatency {
+        QueryLatency {
+            query: QueryId(q),
+            template: TemplateId(t),
+            latency: Millis::from_mins(mins),
+        }
+    }
+
+    fn fig3_spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    /// Figure 3, scenario 2: deadlines T1=3m, T2=1m; schedule latencies
+    /// q1(T1)=2m, q2(T2)=3m, q3(T2)=1m, q4(T2)=2m. Violations: q2 by 2m,
+    /// q4 by 1m => 180s of violation => $1.80 at 1 cent/s.
+    #[test]
+    fn per_query_penalty_matches_figure_three() {
+        let goal = PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let lats = [lat(0, 0, 2), lat(1, 1, 3), lat(2, 1, 1), lat(3, 1, 2)];
+        let p = goal.penalty(&lats);
+        assert!(p.approx_eq(Money::from_dollars(1.80), 1e-9));
+
+        // Scenario 1 has no violations.
+        let lats = [lat(1, 1, 1), lat(0, 0, 3), lat(2, 1, 1), lat(3, 1, 1)];
+        assert_eq!(goal.penalty(&lats), Money::ZERO);
+    }
+
+    #[test]
+    fn max_latency_penalty_sums_per_query_excess() {
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // 3m and 4m completions exceed by 1m and 2m => 180s => $1.80.
+        let lats = [lat(0, 0, 3), lat(1, 0, 4), lat(2, 1, 1)];
+        assert!(goal.penalty(&lats).approx_eq(Money::from_dollars(1.80), 1e-9));
+    }
+
+    #[test]
+    fn average_penalty_uses_mean_excess() {
+        let goal = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // Mean of 1m and 5m = 3m: one minute over => $0.60.
+        let lats = [lat(0, 0, 1), lat(1, 0, 5)];
+        assert!(goal.penalty(&lats).approx_eq(Money::from_dollars(0.60), 1e-9));
+        // Mean exactly at target: no penalty.
+        let lats = [lat(0, 0, 1), lat(1, 0, 3)];
+        assert_eq!(goal.penalty(&lats), Money::ZERO);
+    }
+
+    #[test]
+    fn average_penalty_can_decrease() {
+        let goal = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let mut tracker = goal.new_tracker();
+        let d1 = tracker.push(&goal, TemplateId(0), Millis::from_mins(4));
+        assert!(d1 > Money::ZERO);
+        // A fast query pulls the mean down: negative delta.
+        let d2 = tracker.push(&goal, TemplateId(0), Millis::from_mins(1));
+        assert!(d2 < Money::ZERO);
+        assert!(!goal.is_monotone());
+    }
+
+    #[test]
+    fn percentile_penalty_uses_nearest_rank() {
+        let goal = PerformanceGoal::Percentile {
+            percent: 90.0,
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // 10 queries, exactly one slow one: the 90th percentile (k=9) is
+        // on time, so the slow query rides in the allowed 10%.
+        let mut lats: Vec<QueryLatency> = (0..9).map(|i| lat(i, 0, 1)).collect();
+        lats.push(lat(9, 0, 60));
+        assert_eq!(goal.penalty(&lats), Money::ZERO);
+
+        // Two slow queries: the 90th percentile lands on a slow one.
+        lats[8] = lat(8, 0, 12);
+        let p = goal.penalty(&lats);
+        // k = ceil(0.9 * 10) = 9 => 9th smallest = 12m => 10m over => $6.
+        assert!(p.approx_eq(Money::from_dollars(6.0), 1e-9));
+    }
+
+    #[test]
+    fn percentile_single_query() {
+        let goal = PerformanceGoal::Percentile {
+            percent: 90.0,
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // One query: k = ceil(0.9) = 1, so the query itself must meet it.
+        assert_eq!(goal.penalty(&[lat(0, 0, 2)]), Money::ZERO);
+        assert!(goal.penalty(&[lat(0, 0, 3)]) > Money::ZERO);
+    }
+
+    #[test]
+    fn monotonicity_and_shiftability_flags() {
+        let spec = fig3_spec();
+        for kind in GoalKind::ALL {
+            let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+            let expected = matches!(kind, GoalKind::PerQuery | GoalKind::MaxLatency);
+            assert_eq!(goal.is_monotone(), expected, "{kind:?}");
+            assert_eq!(goal.is_linearly_shiftable(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn paper_defaults_match_section_seven() {
+        let spec = fig3_spec();
+        match PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap() {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                assert_eq!(deadline, Millis::from_mins(5)); // 2.5 * 2m
+            }
+            _ => unreachable!(),
+        }
+        match PerformanceGoal::paper_default(GoalKind::PerQuery, &spec).unwrap() {
+            PerformanceGoal::PerQuery { deadlines, .. } => {
+                assert_eq!(deadlines, vec![Millis::from_mins(6), Millis::from_mins(3)]);
+            }
+            _ => unreachable!(),
+        }
+        match PerformanceGoal::paper_default(GoalKind::AverageLatency, &spec).unwrap() {
+            PerformanceGoal::AverageLatency { target, .. } => {
+                // Mean latency 1.5m * 2.5 = 3.75m.
+                assert_eq!(target, Millis::from_secs(225));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tighten_interpolates_toward_floor() {
+        let spec = fig3_spec();
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(5),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        // Floor is the slowest template: 2 minutes. Gap = 3 minutes.
+        match goal.tighten_pct(&spec, 1.0 / 3.0) {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                assert_eq!(deadline, Millis::from_mins(4));
+            }
+            _ => unreachable!(),
+        }
+        // p = 1 hits the floor; beyond clamps.
+        match goal.tighten_pct(&spec, 2.0) {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                assert_eq!(deadline, Millis::from_mins(2));
+            }
+            _ => unreachable!(),
+        }
+        // Negative p loosens.
+        match goal.tighten_pct(&spec, -1.0) {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                assert_eq!(deadline, Millis::from_mins(8));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shift_subtracts_elapsed_for_deadline_goals() {
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(3),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        match goal.shift(Millis::from_mins(1)).unwrap() {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                assert_eq!(deadline, Millis::from_mins(2));
+            }
+            _ => unreachable!(),
+        }
+        let avg = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(3),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        assert!(avg.shift(Millis::SECOND).is_none());
+    }
+
+    #[test]
+    fn validate_against_checks_arity_and_percent() {
+        let spec = fig3_spec();
+        let bad = PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(1)],
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        assert!(matches!(
+            bad.validate_against(&spec),
+            Err(CoreError::DeadlineArityMismatch { .. })
+        ));
+        let bad = PerformanceGoal::Percentile {
+            percent: 0.0,
+            deadline: Millis::from_mins(1),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        assert!(matches!(
+            bad.validate_against(&spec),
+            Err(CoreError::InvalidPercentile { .. })
+        ));
+    }
+
+    #[test]
+    fn tracker_digest_distinguishes_penalty_relevant_state() {
+        let avg = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let mut t1 = avg.new_tracker();
+        let mut t2 = avg.new_tracker();
+        t1.push(&avg, TemplateId(0), Millis::from_mins(1));
+        t2.push(&avg, TemplateId(0), Millis::from_mins(3));
+        assert_ne!(t1.digest(), t2.digest());
+
+        let maxg = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let mut t1 = maxg.new_tracker();
+        let mut t2 = maxg.new_tracker();
+        t1.push(&maxg, TemplateId(0), Millis::from_mins(1));
+        t2.push(&maxg, TemplateId(0), Millis::from_mins(50));
+        // Past completions never change future max-latency deltas.
+        assert_eq!(t1.digest(), t2.digest());
+    }
+
+    #[test]
+    fn with_extra_deadline_extends_per_query_goals() {
+        let goal = PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(3)],
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        match goal.with_extra_deadline(Millis::from_mins(2)) {
+            PerformanceGoal::PerQuery { deadlines, .. } => {
+                assert_eq!(deadlines.len(), 2);
+                assert_eq!(deadlines[1], Millis::from_mins(2));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,719 @@
+//! A hand-rolled C4.5/J48-style decision-tree learner.
+//!
+//! The paper trains its workload-management models with Weka's J48 (§7.1),
+//! i.e. C4.5: top-down induction with gain-ratio split selection and
+//! confidence-based (pessimistic) error pruning. No adequate Rust crate
+//! exists for this, so the learner is implemented here from scratch:
+//!
+//! * binary splits `feature < threshold` on numeric columns (booleans are
+//!   encoded 0/1, infinities — the `cost-of-X = ∞` case — sort after every
+//!   finite value and split off naturally);
+//! * split selection by **gain ratio** (information gain normalized by split
+//!   entropy), C4.5's guard against many-valued features;
+//! * **pessimistic pruning** with the Wilson-style upper confidence bound on
+//!   the leaf error rate (J48's `addErrs`, default CF = 0.25), applied
+//!   bottom-up during induction (subtree replacement; subtree raising is not
+//!   implemented).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Induction and pruning parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum number of training examples in each child of a split
+    /// (J48's `minNumObj`, default 2).
+    pub min_leaf: usize,
+    /// Minimum number of examples at a node to attempt a split.
+    pub min_split: usize,
+    /// Whether to apply pessimistic pruning.
+    pub prune: bool,
+    /// Pruning confidence factor (J48's `CF`, default 0.25; smaller prunes
+    /// more aggressively).
+    pub confidence: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 40,
+            min_leaf: 2,
+            min_split: 4,
+            prune: true,
+            confidence: 0.25,
+        }
+    }
+}
+
+/// A node of the learned tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Terminal node predicting `label`.
+    Leaf {
+        /// Predicted label (majority of the training examples here).
+        label: usize,
+        /// Training examples that reached this leaf.
+        samples: usize,
+        /// Of those, how many had a different label.
+        errors: usize,
+    },
+    /// Binary test `features[feature] < threshold`.
+    Split {
+        /// Column index into the feature vector.
+        feature: usize,
+        /// Examples with `value < threshold` go left, the rest right.
+        threshold: f64,
+        /// Subtree for `value < threshold`.
+        left: Box<TreeNode>,
+        /// Subtree for `value >= threshold`.
+        right: Box<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn num_leaves(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { left, right, .. } => left.num_leaves() + right.num_leaves(),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { left, right, .. } => 1 + left.num_nodes() + right.num_nodes(),
+        }
+    }
+
+    /// Pessimistic error estimate of the subtree: per-leaf observed errors
+    /// plus the confidence correction.
+    fn pessimistic_errors(&self, confidence: f64) -> f64 {
+        match self {
+            TreeNode::Leaf {
+                samples, errors, ..
+            } => *errors as f64 + add_errs(*samples as f64, *errors as f64, confidence),
+            TreeNode::Split { left, right, .. } => {
+                left.pessimistic_errors(confidence) + right.pessimistic_errors(confidence)
+            }
+        }
+    }
+}
+
+/// A trained decision tree mapping feature vectors to decision labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: TreeNode,
+    num_features: usize,
+    num_labels: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on `dataset`.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty (there is nothing to learn from).
+    pub fn train(dataset: &Dataset, params: &TreeParams) -> DecisionTree {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        let builder = Builder { dataset, params };
+        let root = builder.build(&mut indices, 0);
+        DecisionTree {
+            root,
+            num_features: dataset.schema.num_features(),
+            num_labels: dataset.schema.num_labels(),
+        }
+    }
+
+    /// Predicts the decision label for a feature vector.
+    ///
+    /// # Panics
+    /// Panics if `features` is shorter than the training schema.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        assert!(
+            features.len() >= self.num_features,
+            "feature vector has {} columns, tree expects {}",
+            features.len(),
+            self.num_features
+        );
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { label, .. } => return *label,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Fraction of `dataset` rows the tree classifies correctly.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 1.0;
+        }
+        let correct = dataset
+            .rows
+            .iter()
+            .zip(&dataset.labels)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / dataset.len() as f64
+    }
+
+    /// Height of the tree (a lone leaf has depth 0). The paper observes its
+    /// trees stay shallow (h < 30), which bounds scheduling to `O(h·n)`.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.root.num_leaves()
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.root.num_nodes()
+    }
+
+    /// Number of decision labels the tree can emit.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// The root node (for inspection/rendering).
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// Renders the tree as indented text, in the spirit of Figure 6.
+    pub fn render(
+        &self,
+        feature_name: &dyn Fn(usize) -> String,
+        label_name: &dyn Fn(usize) -> String,
+    ) -> String {
+        fn go(
+            node: &TreeNode,
+            indent: usize,
+            out: &mut String,
+            feature_name: &dyn Fn(usize) -> String,
+            label_name: &dyn Fn(usize) -> String,
+        ) {
+            let pad = "  ".repeat(indent);
+            match node {
+                TreeNode::Leaf {
+                    label,
+                    samples,
+                    errors,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}=> {} ({samples} samples, {errors} errors)\n",
+                        label_name(*label)
+                    ));
+                }
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}{} < {threshold:.6}?\n",
+                        feature_name(*feature)
+                    ));
+                    out.push_str(&format!("{pad}yes:\n"));
+                    go(left, indent + 1, out, feature_name, label_name);
+                    out.push_str(&format!("{pad}no:\n"));
+                    go(right, indent + 1, out, feature_name, label_name);
+                }
+            }
+        }
+        let mut out = String::new();
+        go(&self.root, 0, &mut out, feature_name, label_name);
+        out
+    }
+}
+
+struct Builder<'a> {
+    dataset: &'a Dataset,
+    params: &'a TreeParams,
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain_ratio: f64,
+}
+
+impl Builder<'_> {
+    fn label_counts(&self, idx: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.dataset.schema.num_labels()];
+        for &i in idx {
+            counts[self.dataset.labels[i]] += 1;
+        }
+        counts
+    }
+
+    fn build(&self, idx: &mut [usize], depth: usize) -> TreeNode {
+        let counts = self.label_counts(idx);
+        let (majority, majority_count) = argmax(&counts);
+        let errors = idx.len() - majority_count;
+        let leaf = TreeNode::Leaf {
+            label: majority,
+            samples: idx.len(),
+            errors,
+        };
+        if errors == 0 || idx.len() < self.params.min_split || depth >= self.params.max_depth {
+            return leaf;
+        }
+        let Some(split) = self.best_split(idx, &counts) else {
+            return leaf;
+        };
+        // Partition indices in place: left = `< threshold`.
+        let mut mid = 0;
+        for i in 0..idx.len() {
+            if self.dataset.rows[idx[i]][split.feature] < split.threshold {
+                idx.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < idx.len());
+        let (left_idx, right_idx) = idx.split_at_mut(mid);
+        let left = self.build(left_idx, depth + 1);
+        let right = self.build(right_idx, depth + 1);
+        let node = TreeNode::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        if self.params.prune {
+            let subtree_errs = node.pessimistic_errors(self.params.confidence);
+            let leaf_errs = errors as f64
+                + add_errs(idx.len() as f64, errors as f64, self.params.confidence);
+            // J48's subtree-replacement rule (with its 0.1 slack).
+            if leaf_errs <= subtree_errs + 0.1 {
+                return leaf;
+            }
+        }
+        node
+    }
+
+    fn best_split(&self, idx: &[usize], counts: &[usize]) -> Option<SplitChoice> {
+        let n = idx.len() as f64;
+        let base_entropy = entropy(counts, idx.len());
+        let mut best: Option<SplitChoice> = None;
+
+        let num_features = self.dataset.schema.num_features();
+        let mut order: Vec<usize> = idx.to_vec();
+        for feature in 0..num_features {
+            order.sort_unstable_by(|&a, &b| {
+                self.dataset.rows[a][feature].total_cmp(&self.dataset.rows[b][feature])
+            });
+            let mut left_counts = vec![0usize; counts.len()];
+            let mut left_n = 0usize;
+            for w in 0..order.len() - 1 {
+                let row = order[w];
+                left_counts[self.dataset.labels[row]] += 1;
+                left_n += 1;
+                let v = self.dataset.rows[row][feature];
+                let v_next = self.dataset.rows[order[w + 1]][feature];
+                if v_next <= v {
+                    continue; // not a boundary between distinct values
+                }
+                let right_n = idx.len() - left_n;
+                if left_n < self.params.min_leaf || right_n < self.params.min_leaf {
+                    continue;
+                }
+                let h_left = entropy(&left_counts, left_n);
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&c, &l)| c - l)
+                    .collect();
+                let h_right = entropy(&right_counts, right_n);
+                let gain = base_entropy
+                    - (left_n as f64 / n) * h_left
+                    - (right_n as f64 / n) * h_right;
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let pl = left_n as f64 / n;
+                let pr = right_n as f64 / n;
+                let split_info = -(pl * pl.log2() + pr * pr.log2());
+                if split_info <= 1e-12 {
+                    continue;
+                }
+                let gain_ratio = gain / split_info;
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        gain_ratio > b.gain_ratio + 1e-12
+                            || (gain_ratio > b.gain_ratio - 1e-12 && feature < b.feature)
+                    }
+                };
+                if better {
+                    let threshold = midpoint(v, v_next);
+                    best = Some(SplitChoice {
+                        feature,
+                        threshold,
+                        gain_ratio,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+fn argmax(counts: &[usize]) -> (usize, usize) {
+    let mut best = (0usize, 0usize);
+    for (i, &c) in counts.iter().enumerate() {
+        if c > best.1 {
+            best = (i, c);
+        }
+    }
+    best
+}
+
+/// Shannon entropy (bits) of a label distribution.
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Midpoint threshold between two consecutive distinct values, robust to
+/// infinities (`cost-of-X = ∞`) and float rounding. Splits are `value < t`.
+fn midpoint(lo: f64, hi: f64) -> f64 {
+    if !hi.is_finite() {
+        // Everything finite goes left, infinite right.
+        return f64::MAX;
+    }
+    let mid = lo + (hi - lo) / 2.0;
+    if mid > lo {
+        mid
+    } else {
+        hi
+    }
+}
+
+/// J48's `addErrs`: the expected number of *additional* errors at a leaf of
+/// `n` examples with `e` observed errors, at confidence factor `cf`, using
+/// the upper bound of the binomial confidence interval (normal
+/// approximation with continuity correction).
+fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if cf > 0.5 {
+        return 0.0;
+    }
+    if e == 0.0 {
+        return n * (1.0 - cf.powf(1.0 / n));
+    }
+    if e < 1.0 {
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        return base + e * (add_errs(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_inverse(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n) - e
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9 over (0, 1)).
+fn normal_inverse(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_inverse domain is (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSchema;
+
+    /// A dataset with a hand-built schema (bypassing feature extraction) so
+    /// learner behaviour can be tested in isolation.
+    fn synthetic(rows: Vec<Vec<f64>>, labels: Vec<usize>, num_labels_hint: usize) -> Dataset {
+        // Schema sized so num_features/num_labels are large enough.
+        let num_features = rows.first().map(|r| r.len()).unwrap_or(1);
+        // num_features = 1 + 4t  =>  t = (f-1)/4; ensure at least hint labels.
+        let t = ((num_features.saturating_sub(1)) / 4).max(num_labels_hint);
+        let schema = FeatureSchema {
+            num_templates: t,
+            num_vm_types: 1,
+        };
+        let mut padded = rows;
+        for r in &mut padded {
+            r.resize(schema.num_features(), 0.0);
+        }
+        Dataset {
+            schema,
+            rows: padded,
+            labels,
+        }
+    }
+
+    #[test]
+    fn learns_a_single_threshold() {
+        // label = value >= 5.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(&ds, &TreeParams::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert_eq!(tree.predict(&vec![3.0; ds.schema.num_features()]), 0);
+        assert_eq!(tree.predict(&vec![7.0; ds.schema.num_features()]), 1);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 0 is noise; feature 1 decides the label.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let noise = (i * 7 % 11) as f64;
+            let signal = if i % 2 == 0 { 0.0 } else { 10.0 };
+            rows.push(vec![noise, signal]);
+            labels.push(i % 2);
+        }
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(&ds, &TreeParams::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        match tree.root() {
+            TreeNode::Split { feature, .. } => assert_eq!(*feature, 1),
+            _ => panic!("expected a split at the root"),
+        }
+    }
+
+    #[test]
+    fn handles_infinite_feature_values() {
+        // cost-like feature: finite => label 0, infinite => label 1.
+        let rows = vec![
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![f64::INFINITY],
+            vec![f64::INFINITY],
+            vec![f64::INFINITY],
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                min_split: 2,
+                min_leaf: 1,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        let nf = ds.schema.num_features();
+        assert_eq!(tree.predict(&vec![100.0; nf]), 0);
+        assert_eq!(tree.predict(&vec![f64::INFINITY; nf]), 1);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // Labels are pure noise: an unpruned tree might split; a pruned one
+        // should collapse to (or stay) a single leaf.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64]).collect();
+        let labels: Vec<usize> = (0..50).map(|i| (i * 13 + 5) % 2).collect();
+        let ds = synthetic(rows, labels, 2);
+        let pruned = DecisionTree::train(&ds, &TreeParams::default());
+        let unpruned = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                prune: false,
+                min_leaf: 1,
+                min_split: 2,
+                ..TreeParams::default()
+            },
+        );
+        assert!(pruned.num_nodes() <= unpruned.num_nodes());
+        assert!(pruned.num_leaves() <= 3, "noise should prune hard");
+    }
+
+    #[test]
+    fn max_depth_and_min_leaf_are_respected() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| (i / 8) % 2).collect();
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                max_depth: 2,
+                prune: false,
+                ..TreeParams::default()
+            },
+        );
+        assert!(tree.depth() <= 2);
+
+        let stump = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(stump.depth(), 0);
+        assert_eq!(stump.num_leaves(), 1);
+    }
+
+    #[test]
+    fn multiclass_labels() {
+        // Three bands -> three labels.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let ds = synthetic(rows, labels, 3);
+        let tree = DecisionTree::train(&ds, &TreeParams::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        let nf = ds.schema.num_features();
+        assert_eq!(tree.predict(&vec![5.0; nf]), 0);
+        assert_eq!(tree.predict(&vec![15.0; nf]), 1);
+        assert_eq!(tree.predict(&vec![25.0; nf]), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(&ds, &TreeParams::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+        let nf = ds.schema.num_features();
+        assert_eq!(back.predict(&vec![3.0; nf]), tree.predict(&vec![3.0; nf]));
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[10, 0], 10), 0.0);
+        assert!((entropy(&[5, 5], 10) - 1.0).abs() < 1e-12);
+        assert!(entropy(&[9, 1], 10) < 1.0);
+        assert_eq!(entropy(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn normal_inverse_known_values() {
+        assert!((normal_inverse(0.5)).abs() < 1e-9);
+        assert!((normal_inverse(0.75) - 0.674_489_750_196_081_7).abs() < 1e-7);
+        assert!((normal_inverse(0.975) - 1.959_963_984_540_054).abs() < 1e-7);
+        assert!((normal_inverse(0.025) + 1.959_963_984_540_054).abs() < 1e-7);
+    }
+
+    #[test]
+    fn add_errs_matches_j48_semantics() {
+        // Zero observed errors still get a positive correction.
+        assert!(add_errs(10.0, 0.0, 0.25) > 0.0);
+        // More data, same error rate => smaller correction rate.
+        let small = add_errs(10.0, 1.0, 0.25) / 10.0;
+        let large = add_errs(1000.0, 100.0, 0.25) / 1000.0;
+        assert!(large < small);
+        // CF above 0.5 disables the correction.
+        assert_eq!(add_errs(10.0, 3.0, 0.6), 0.0);
+        // Nearly-all-errors leaf caps at n - e.
+        assert!(add_errs(10.0, 9.6, 0.25) <= 0.4 + 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let m = midpoint(1.0, 2.0);
+        assert!(m > 1.0 && m <= 2.0);
+        assert_eq!(midpoint(1.0, f64::INFINITY), f64::MAX);
+        // Adjacent floats degrade gracefully to the upper value.
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let m = midpoint(lo, hi);
+        assert!(m > lo && m <= hi);
+    }
+
+    #[test]
+    fn render_mentions_features_and_labels() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(&ds, &TreeParams::default());
+        let text = tree.render(&|f| format!("f{f}"), &|l| format!("action{l}"));
+        assert!(text.contains("f0 <"));
+        assert!(text.contains("action0"));
+        assert!(text.contains("action1"));
+    }
+}

@@ -1,0 +1,457 @@
+//! Admissible search heuristics.
+//!
+//! For *monotonically increasing* goals (per-query, max latency) the paper's
+//! Eq. 3 heuristic applies: the cheapest conceivable processing cost of the
+//! unassigned queries, pretending VMs were free. For non-monotone goals the
+//! paper falls back to the null heuristic; we use a slightly stronger but
+//! still admissible bound that accounts for the fact that future placements
+//! can refund at most the penalty accumulated so far.
+
+use wisedb_core::{Millis, Money, PenaltyTracker, PerformanceGoal, TemplateId, WorkloadSpec};
+
+use crate::state::SearchState;
+
+/// Precomputed per-template bounds: `min_i f_r(i) * l(t, i)` (the cheapest
+/// way to process one instance) and `min_i l(t, i)` (the fastest possible
+/// completion, which lower-bounds any future completion latency).
+#[derive(Debug, Clone)]
+pub struct HeuristicTable {
+    cheapest: Vec<Money>,
+    min_exec: Vec<Millis>,
+    min_startup: Money,
+}
+
+impl HeuristicTable {
+    /// Builds the table for a specification.
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        let cheapest = spec
+            .template_ids()
+            .map(|t| spec.cheapest_runtime_cost(t).unwrap_or(Money::ZERO))
+            .collect();
+        let min_exec = spec
+            .templates()
+            .iter()
+            .map(|t| t.min_latency().unwrap_or(Millis::ZERO))
+            .collect();
+        let min_startup = spec
+            .vm_types()
+            .iter()
+            .map(|v| v.startup_cost)
+            .min_by(Money::total_cmp)
+            .unwrap_or(Money::ZERO);
+        HeuristicTable {
+            cheapest,
+            min_exec,
+            min_startup,
+        }
+    }
+
+    /// Cheapest processing cost of one instance of `t`.
+    pub fn cheapest(&self, t: TemplateId) -> Money {
+        self.cheapest
+            .get(t.index())
+            .copied()
+            .unwrap_or(Money::ZERO)
+    }
+
+    /// Sum of cheapest processing costs over all unassigned queries:
+    /// Eq. 3's `h(v)`.
+    pub fn remaining_runtime_lower_bound(&self, state: &SearchState) -> Money {
+        state
+            .unassigned
+            .iter()
+            .zip(&self.cheapest)
+            .map(|(&count, &cost)| cost * count as f64)
+            .sum()
+    }
+
+    /// The admissible heuristic for `goal` at `state`.
+    ///
+    /// * Monotone goals: future cost ≥ remaining runtime (Eq. 3), *plus* a
+    ///   bin-packing bound on unavoidable start-up fees / overflow
+    ///   penalties — see [`Self::startup_overflow_bound`]. The paper uses
+    ///   Eq. 3 alone; the extra term is what keeps 30-query oracle
+    ///   searches tractable, because without it every no-penalty prefix of
+    ///   every schedule shares one enormous f-plateau.
+    /// * Non-monotone goals: placements can *refund* penalty, so the paper
+    ///   uses the null heuristic. We use a stronger admissible bound: the
+    ///   future penalty deltas telescope to `p_final − p_current`, and
+    ///   `p_final` is lower-bounded by pretending every remaining query
+    ///   completes at its fastest possible execution time. At a goal vertex
+    ///   the estimate is exactly zero, which the optimality argument for
+    ///   inconsistent heuristics relies on.
+    pub fn estimate(
+        &self,
+        goal: &PerformanceGoal,
+        state: &SearchState,
+    ) -> Money {
+        if state.is_goal() {
+            return Money::ZERO;
+        }
+        let runtime = self.remaining_runtime_lower_bound(state);
+        match goal {
+            PerformanceGoal::MaxLatency { .. } | PerformanceGoal::PerQuery { .. } => {
+                runtime + self.startup_overflow_bound(goal, state)
+            }
+            PerformanceGoal::AverageLatency { target, rate } => {
+                let current = state.tracker.penalty(goal);
+                runtime + self.average_bound(state, *target, *rate) - current
+            }
+            PerformanceGoal::Percentile { .. } => {
+                let current = state.tracker.penalty(goal);
+                runtime + self.final_penalty_lower_bound(goal, state) - current
+            }
+        }
+    }
+
+    /// For average-latency goals: the cheapest conceivable combination of
+    /// new-VM fees and mean-latency penalty.
+    ///
+    /// With `k` machines available, the minimum total completion time of
+    /// jobs with execution times `e₁ ≥ e₂ ≥ …` is `Σ ⌈j/k⌉·e_j` (SPT on
+    /// each machine, longest jobs first across machines — the classical
+    /// `P‖ΣC_j` bound; queue offsets on the open VM only increase it). The
+    /// final mean is therefore at least `(sum_so_far + ΣC_min(V+open)) /
+    /// n_final`, giving a penalty floor per choice of `V` new VMs; minimize
+    /// `f_min·V + penalty_floor(V)` over `V`.
+    fn average_bound(
+        &self,
+        state: &SearchState,
+        target: Millis,
+        rate: wisedb_core::PenaltyRate,
+    ) -> Money {
+        let PenaltyTracker::Average { sum_ms, count } = &state.tracker else {
+            return Money::ZERO;
+        };
+        // Remaining execution times, longest first.
+        let mut execs: Vec<u64> = Vec::new();
+        for (t, &c) in state.unassigned.iter().enumerate() {
+            for _ in 0..c {
+                execs.push(self.min_exec[t].as_millis());
+            }
+        }
+        if execs.is_empty() {
+            return Money::ZERO;
+        }
+        execs.sort_unstable_by(|a, b| b.cmp(a));
+        let m = execs.len();
+        let n_final = *count + m as u64;
+        let open = usize::from(state.last_vm.is_some());
+        let mut best = Money::from_dollars(f64::INFINITY);
+        for v in 0..=m {
+            let machines = (v + open).max(1);
+            // V new VMs are only "free" capacity if we pay their fee; with
+            // no open VM at least one rental is mandatory.
+            let paid_vms = if open == 0 { v.max(1) } else { v };
+            let mut sum_c: u128 = *sum_ms;
+            for (j, &e) in execs.iter().enumerate() {
+                sum_c += (((j / machines) + 1) as u128) * e as u128;
+            }
+            let mean = Millis::from_millis((sum_c / n_final as u128) as u64);
+            let penalty = rate.for_violation(mean.saturating_sub(target));
+            let candidate = self.min_startup * paid_vms as f64 + penalty;
+            if candidate < best {
+                best = candidate;
+            }
+            if penalty == Money::ZERO {
+                break; // adding VMs only raises the fee from here on
+            }
+        }
+        best
+    }
+
+    /// For deadline goals: a lower bound on the start-up fees and overflow
+    /// penalties any completion must still pay.
+    ///
+    /// Derivation: let `W` be the total remaining work at its *fastest*
+    /// (`Σ min_exec`), `D` the most generous deadline among remaining
+    /// templates, and `S = (D − wait)⁺` the penalty-free room left on the
+    /// open VM. Any completion splits `W` across the open VM and `V` new
+    /// VMs. On a VM whose queue sums to `Wᵢ`, the last query finishes at
+    /// `Wᵢ` (+ wait), so penalties are at least `rate·(Wᵢ − D)⁺`; summing
+    /// and using `(a−A)⁺ + (b−B)⁺ ≥ (a+b−A−B)⁺` gives penalties
+    /// `≥ rate·(W − S − V·D)⁺`, while start-ups cost at least `f_min·V`.
+    /// The bound is the minimum over `V ≥ 0` of that convex piecewise-
+    /// linear function — evaluated at the two integers around
+    /// `(W − S)/D`.
+    fn startup_overflow_bound(
+        &self,
+        goal: &PerformanceGoal,
+        state: &SearchState,
+    ) -> Money {
+        // Deadline classes d₁ < d₂ < … with Wₖ = fastest-possible work of
+        // remaining queries whose deadline is ≤ dₖ. For each class, every
+        // machine can absorb at most dₖ of that work penalty-free (its
+        // last such query finishes no earlier than the class work placed
+        // there), so with V new VMs the penalties are at least
+        // `rate·maxₖ (Wₖ − Sₖ − V·dₖ)⁺`. Max-latency goals are the
+        // single-class case.
+        let rate = goal.rate();
+        let mut classes: Vec<(Millis, u64)> = match goal {
+            PerformanceGoal::MaxLatency { deadline, .. } => {
+                let mut work = 0u64;
+                for (t, &count) in state.unassigned.iter().enumerate() {
+                    work += self.min_exec[t].as_millis() * count as u64;
+                }
+                vec![(*deadline, work)]
+            }
+            PerformanceGoal::PerQuery { deadlines, .. } => {
+                let mut per_deadline: Vec<(Millis, u64)> = state
+                    .unassigned
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(t, &c)| {
+                        (
+                            deadlines.get(t).copied().unwrap_or(Millis::ZERO),
+                            self.min_exec[t].as_millis() * c as u64,
+                        )
+                    })
+                    .collect();
+                per_deadline.sort_unstable();
+                // Prefix-accumulate into nested classes.
+                let mut acc = 0u64;
+                let mut out: Vec<(Millis, u64)> = Vec::new();
+                for (d, w) in per_deadline {
+                    acc += w;
+                    match out.last_mut() {
+                        Some((last_d, last_w)) if *last_d == d => *last_w = acc,
+                        _ => out.push((d, acc)),
+                    }
+                }
+                out
+            }
+            _ => return Money::ZERO,
+        };
+        classes.retain(|&(_, w)| w > 0);
+        if classes.is_empty() {
+            return Money::ZERO;
+        }
+        let wait = state
+            .last_vm
+            .as_ref()
+            .map(|l| l.wait)
+            .unwrap_or(Millis::ZERO);
+        let has_open = state.last_vm.is_some();
+        let violation_at = |v: u64| -> Millis {
+            let mut worst = Millis::ZERO;
+            for &(d, w) in &classes {
+                let slack = if has_open {
+                    d.saturating_sub(wait).as_millis()
+                } else {
+                    0
+                };
+                let capacity = slack + d.as_millis() * v;
+                let over = Millis::from_millis(w.saturating_sub(capacity));
+                worst = worst.max(over);
+            }
+            worst
+        };
+        // `f(V) = fee·V + rate·violation(V)` is convex piecewise linear:
+        // walk V upward until the violation term vanishes, tracking the
+        // minimum. Zero deadlines never gain capacity from extra VMs, so
+        // the walk is capped by total work over the smallest *positive*
+        // deadline.
+        let v_cap = classes
+            .iter()
+            .filter(|&&(d, _)| !d.is_zero())
+            .map(|&(d, _)| classes.last().map(|&(_, w)| w).unwrap_or(0) / d.as_millis() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut best = Money::from_dollars(f64::INFINITY);
+        for v in 0..=v_cap {
+            let violation = violation_at(v);
+            let candidate = self.min_startup * v as f64 + rate.for_violation(violation);
+            if candidate < best {
+                best = candidate;
+            }
+            if violation.is_zero() {
+                break;
+            }
+        }
+        // With no open VM and work remaining, at least one rental is
+        // unavoidable regardless of deadlines.
+        if !has_open {
+            best = best.max(self.min_startup);
+        }
+        best
+    }
+
+    /// A lower bound on the *final* penalty reachable from `state`:
+    /// completions can only be slower than the fastest execution of each
+    /// remaining query, and both the mean and any order statistic are
+    /// monotone in each completion time.
+    fn final_penalty_lower_bound(
+        &self,
+        goal: &PerformanceGoal,
+        state: &SearchState,
+    ) -> Money {
+        match (goal, &state.tracker) {
+            (
+                PerformanceGoal::AverageLatency { target, rate },
+                PenaltyTracker::Average { sum_ms, count },
+            ) => {
+                let mut sum = *sum_ms;
+                let mut n = *count;
+                for (t, &remaining) in state.unassigned.iter().enumerate() {
+                    sum += self.min_exec[t].as_millis() as u128 * remaining as u128;
+                    n += remaining as u64;
+                }
+                if n == 0 {
+                    return Money::ZERO;
+                }
+                let mean = Millis::from_millis((sum / n as u128) as u64);
+                rate.for_violation(mean.saturating_sub(*target))
+            }
+            (
+                PerformanceGoal::Percentile {
+                    percent,
+                    deadline,
+                    rate,
+                },
+                PenaltyTracker::Percentile { sorted_ms },
+            ) => {
+                let mut merged: Vec<u64> = sorted_ms.clone();
+                for (t, &remaining) in state.unassigned.iter().enumerate() {
+                    for _ in 0..remaining {
+                        merged.push(self.min_exec[t].as_millis());
+                    }
+                }
+                if merged.is_empty() {
+                    return Money::ZERO;
+                }
+                merged.sort_unstable();
+                let n = merged.len();
+                let k = (((percent / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+                let at = Millis::from_millis(merged[k - 1]);
+                rate.for_violation(at.saturating_sub(*deadline))
+            }
+            // Monotone goals never reach here; mismatched trackers cannot
+            // occur because the state was built from this goal.
+            _ => Money::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Decision;
+    use wisedb_core::{Millis, PenaltyRate, VmType, VmTypeId};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            vec![
+                wisedb_core::QueryTemplate::uniform(
+                    "T1",
+                    vec![Millis::from_mins(2), Millis::from_mins(4)],
+                ),
+                wisedb_core::QueryTemplate::uniform(
+                    "T2",
+                    vec![Millis::from_mins(1), Millis::from_mins(1)],
+                ),
+            ],
+            vec![VmType::t2_medium(), VmType::t2_small()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cheapest_picks_best_vm_type() {
+        let table = HeuristicTable::new(&spec());
+        // T1: medium 2m*0.052/60 vs small 4m*0.026/60 — equal; either is fine.
+        let t1 = table.cheapest(TemplateId(0));
+        assert!(t1.approx_eq(Money::from_dollars(0.052 * 2.0 / 60.0), 1e-12));
+        // T2: small wins (1m at half rate).
+        let t2 = table.cheapest(TemplateId(1));
+        assert!(t2.approx_eq(Money::from_dollars(0.026 / 60.0), 1e-12));
+    }
+
+    #[test]
+    fn monotone_estimate_is_runtime_plus_unavoidable_startups() {
+        let spec = spec();
+        let goal = wisedb_core::PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(10),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let table = HeuristicTable::new(&spec);
+        // No VM yet: 5 minutes of work fits one 10-minute VM, so exactly
+        // one start-up fee is unavoidable on top of Eq. 3's runtime sum.
+        let state = SearchState::initial(vec![2, 1], &goal);
+        let runtime = table.cheapest(TemplateId(0)) * 2.0 + table.cheapest(TemplateId(1));
+        let expected = runtime + Money::from_dollars(0.0008);
+        assert!(table.estimate(&goal, &state).approx_eq(expected, 1e-12));
+    }
+
+    #[test]
+    fn overflow_bound_anticipates_extra_vms() {
+        // Deadline 2 minutes, six 1-minute queries, empty cluster: at most
+        // 2 queries per VM, so ≥ 3 start-ups are unavoidable.
+        let spec = WorkloadSpec::single_vm(
+            vec![("T", Millis::from_mins(1))],
+            wisedb_core::VmType::t2_medium(),
+        )
+        .unwrap();
+        let goal = wisedb_core::PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let table = HeuristicTable::new(&spec);
+        let state = SearchState::initial(vec![6], &goal);
+        let runtime = table.cheapest(TemplateId(0)) * 6.0;
+        let h = table.estimate(&goal, &state);
+        let three_startups = Money::from_dollars(3.0 * 0.0008);
+        assert!(
+            h.approx_eq(runtime + three_startups, 1e-9),
+            "h = {h}, expected runtime + 3 startups"
+        );
+    }
+
+    #[test]
+    fn estimate_is_zero_at_goal_vertices() {
+        let spec = spec();
+        let goal = wisedb_core::PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(1),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let table = HeuristicTable::new(&spec);
+        let state = SearchState::initial(vec![0, 2], &goal);
+        let (state, _) = state
+            .apply(&spec, &goal, Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        // Place T2 twice: second completes at 2m, mean = 1.5m, 30s over.
+        let (state, _) = state
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (state, _) = state
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        assert!(state.tracker.penalty(&goal) > Money::ZERO);
+        // Goal vertex: nothing remains, so the true remaining cost is 0 and
+        // the heuristic must say exactly that.
+        assert_eq!(table.estimate(&goal, &state), Money::ZERO);
+    }
+
+    #[test]
+    fn average_estimate_anticipates_unavoidable_penalty() {
+        let spec = spec();
+        // Impossible target: even the fastest executions violate it.
+        let goal = wisedb_core::PerformanceGoal::AverageLatency {
+            target: Millis::from_secs(30),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let table = HeuristicTable::new(&spec);
+        let state = SearchState::initial(vec![0, 1], &goal);
+        // One T2 remains; its fastest execution is 1m, so the final mean is
+        // at least 1m — 30s over target — on top of its runtime cost and
+        // the one unavoidable VM rental fee.
+        let h = table.estimate(&goal, &state);
+        let runtime = table.cheapest(TemplateId(1));
+        let unavoidable = Money::from_dollars(0.30) + Money::from_dollars(0.0008);
+        assert!(
+            h.approx_eq(runtime + unavoidable, 1e-9),
+            "h = {h}, expected {}",
+            runtime + unavoidable
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # wisedb-search
+//!
+//! The scheduling graph and shortest-path machinery of WiSeDB (§4.3, §5).
+//!
+//! Scheduling a workload is modelled as navigating a weighted directed
+//! graph: vertices are partial schedules plus the set of still-unassigned
+//! queries, edges either rent a VM (*start-up edges*, weight `f_s`) or place
+//! a query on the most recently rented VM (*placement edges*, weight
+//! `l(q,i)·f_r + Δpenalty`, Eq. 2). A minimum-cost path from "everything
+//! unassigned" to "nothing unassigned" is a minimum-cost schedule under
+//! Eq. 1 — found here with A* ([`astar::AStarSearcher`]) and, for families
+//! of tightening goals, adaptive A* ([`adaptive::AdaptiveSearcher`]).
+//!
+//! The searcher also reports the *decision path* (which edge was taken at
+//! which vertex), which is exactly the training signal the learning crate
+//! consumes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod canonical;
+pub mod astar;
+pub mod decision;
+pub mod heuristic;
+pub mod state;
+
+pub use adaptive::AdaptiveSearcher;
+pub use astar::{
+    solve_counts, AStarSearcher, DecisionStep, HeuristicMemo, OptimalSchedule, Plan,
+    SearchConfig, SearchStats,
+};
+pub use canonical::CanonicalOrder;
+pub use decision::Decision;
+pub use heuristic::HeuristicTable;
+pub use state::{LastVm, SearchState, StateKey};

@@ -1,0 +1,394 @@
+//! Search vertices: partial schedules plus remaining work.
+//!
+//! A vertex `v` of the scheduling graph (§4.3) carries the unassigned
+//! queries `v_u` and the partial schedule `v_s`. Under the paper's graph
+//! reduction, placements only ever target the most recently rented VM, so a
+//! vertex does not need the whole partial schedule — only the *last* VM's
+//! composition (everything older is immutable and its cost already paid on
+//! the path) plus whatever the performance goal needs to price future
+//! placements (the [`PenaltyTracker`]).
+
+use wisedb_core::{
+    Millis, Money, PenaltyDigest, PenaltyTracker, PerformanceGoal, TemplateId, VmTypeId,
+    WorkloadSpec,
+};
+
+use crate::decision::Decision;
+
+/// The most recently rented VM within a partial schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastVm {
+    /// Its VM type.
+    pub vm_type: VmTypeId,
+    /// Templates queued on it, in placement order.
+    pub queue: Vec<TemplateId>,
+    /// Total execution time of the queue — the *wait time* a newly placed
+    /// query would experience (the `wait-time` feature of §4.4).
+    pub wait: Millis,
+    /// How many leading queue entries were already committed before this
+    /// search began (online scheduling seeds the open VM, §6.3). The
+    /// canonical-SPT reduction must not let committed work constrain the
+    /// ordering of *new* placements.
+    pub seeded: usize,
+}
+
+impl LastVm {
+    fn new(vm_type: VmTypeId) -> Self {
+        LastVm {
+            vm_type,
+            queue: Vec::new(),
+            wait: Millis::ZERO,
+            seeded: 0,
+        }
+    }
+
+    /// An open VM carried over from a previous scheduling round: its queue
+    /// is fixed history, not reorderable by this search.
+    pub fn seeded(vm_type: VmTypeId, queue: Vec<TemplateId>, wait: Millis) -> Self {
+        let seeded = queue.len();
+        LastVm {
+            vm_type,
+            queue,
+            wait,
+            seeded,
+        }
+    }
+
+    /// Per-template counts of the queue, sized to `num_templates`.
+    pub fn queue_counts(&self, num_templates: usize) -> Vec<u16> {
+        let mut counts = vec![0u16; num_templates];
+        for t in &self.queue {
+            if let Some(c) = counts.get_mut(t.index()) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A vertex of the (reduced) scheduling graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchState {
+    /// Unassigned instance count per template (`v_u`).
+    pub unassigned: Vec<u16>,
+    /// The most recently rented VM, if any. `None` only at the start vertex.
+    pub last_vm: Option<LastVm>,
+    /// Incremental penalty state for the goal.
+    pub tracker: PenaltyTracker,
+    /// Number of VMs rented so far (for reporting; not part of the key).
+    pub vms_rented: u32,
+}
+
+impl SearchState {
+    /// The start vertex: everything unassigned, nothing rented.
+    pub fn initial(unassigned: Vec<u16>, goal: &PerformanceGoal) -> Self {
+        SearchState {
+            unassigned,
+            last_vm: None,
+            tracker: goal.new_tracker(),
+            vms_rented: 0,
+        }
+    }
+
+    /// A goal vertex has no unassigned queries.
+    pub fn is_goal(&self) -> bool {
+        self.unassigned.iter().all(|&c| c == 0)
+    }
+
+    /// Total number of unassigned queries.
+    pub fn remaining(&self) -> u32 {
+        self.unassigned.iter().map(|&c| c as u32).sum()
+    }
+
+    /// Whether `decision` labels an edge out of this vertex in the
+    /// *reduced* graph (§4.3): placements need a supporting last VM and an
+    /// unassigned instance; a start-up edge requires the last VM to be
+    /// non-empty (or no VM at all — the mandatory first decision).
+    pub fn is_valid(&self, spec: &WorkloadSpec, decision: Decision) -> bool {
+        match decision {
+            Decision::CreateVm(v) => {
+                if v.index() >= spec.num_vm_types() {
+                    return false;
+                }
+                match &self.last_vm {
+                    None => true,
+                    Some(last) => !last.queue.is_empty(),
+                }
+            }
+            Decision::Place(t) => {
+                if self
+                    .unassigned
+                    .get(t.index())
+                    .map(|&c| c == 0)
+                    .unwrap_or(true)
+                {
+                    return false;
+                }
+                match &self.last_vm {
+                    None => false,
+                    Some(last) => spec.latency(t, last.vm_type).is_some(),
+                }
+            }
+        }
+    }
+
+    /// The weight of the edge labelled `decision` — Eq. 2 for placements
+    /// (`l(q,i) * f_r + Δpenalty`), `f_s` for start-ups — without mutating
+    /// this state. Returns `None` for invalid decisions.
+    pub fn edge_weight(
+        &self,
+        spec: &WorkloadSpec,
+        goal: &PerformanceGoal,
+        decision: Decision,
+    ) -> Option<Money> {
+        if !self.is_valid(spec, decision) {
+            return None;
+        }
+        match decision {
+            Decision::CreateVm(v) => Some(spec.vm_type(v).ok()?.startup_cost),
+            Decision::Place(t) => {
+                let last = self.last_vm.as_ref()?;
+                let exec = spec.latency(t, last.vm_type)?;
+                let runtime = spec.vm_type(last.vm_type).ok()?.runtime_cost(exec);
+                let completion = last.wait + exec;
+                let mut tracker = self.tracker.clone();
+                let delta = tracker.push(goal, t, completion);
+                Some(runtime + delta)
+            }
+        }
+    }
+
+    /// Applies `decision`, returning the successor state and edge weight.
+    /// Returns `None` for invalid decisions.
+    pub fn apply(
+        &self,
+        spec: &WorkloadSpec,
+        goal: &PerformanceGoal,
+        decision: Decision,
+    ) -> Option<(SearchState, Money)> {
+        if !self.is_valid(spec, decision) {
+            return None;
+        }
+        let mut next = self.clone();
+        let weight = match decision {
+            Decision::CreateVm(v) => {
+                next.last_vm = Some(LastVm::new(v));
+                next.vms_rented += 1;
+                spec.vm_type(v).ok()?.startup_cost
+            }
+            Decision::Place(t) => {
+                let last = next.last_vm.as_mut()?;
+                let exec = spec.latency(t, last.vm_type)?;
+                let runtime = spec.vm_type(last.vm_type).ok()?.runtime_cost(exec);
+                last.queue.push(t);
+                last.wait += exec;
+                let completion = last.wait;
+                next.unassigned[t.index()] -= 1;
+                let delta = next.tracker.push(goal, t, completion);
+                runtime + delta
+            }
+        };
+        Some((next, weight))
+    }
+
+    /// All decisions labelling out-edges of this vertex in the reduced
+    /// graph. Start-up edges are additionally pruned to VM types that can
+    /// process at least one remaining template (renting anything else could
+    /// never reach a goal vertex without a further, wasteful start-up).
+    pub fn successors(&self, spec: &WorkloadSpec) -> Vec<Decision> {
+        let mut out = Vec::new();
+        for t in spec.template_ids() {
+            if self.is_valid(spec, Decision::Place(t)) {
+                out.push(Decision::Place(t));
+            }
+        }
+        let can_create = match &self.last_vm {
+            None => true,
+            Some(last) => !last.queue.is_empty(),
+        };
+        if can_create && self.remaining() > 0 {
+            for v in spec.vm_type_ids() {
+                let useful = spec
+                    .template_ids()
+                    .any(|t| self.unassigned[t.index()] > 0 && spec.latency(t, v).is_some());
+                if useful {
+                    out.push(Decision::CreateVm(v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical dedup key. Two vertices with equal keys have identical
+    /// future costs, so only the cheaper needs expanding:
+    ///
+    /// * remaining work (`unassigned`) matches;
+    /// * the open VM prices future placements identically — that requires
+    ///   only its **type** and **wait time** (penalty deltas see the wait,
+    ///   never the queue's composition) plus the **last-placed template**,
+    ///   which gates placements under the canonical-SPT reduction;
+    /// * the penalty digest captures everything the goal can still
+    ///   distinguish about the past.
+    ///
+    /// Collapsing the open VM to `(type, wait, tail)` rather than its full
+    /// composition merges the exponentially many ways of reaching the same
+    /// backlog — the difference between 30-query searches finishing in
+    /// thousands of expansions versus millions.
+    pub fn key(&self, num_templates: usize) -> StateKey {
+        let _ = num_templates;
+        StateKey {
+            unassigned: self.unassigned.clone(),
+            last_vm: self.last_vm.as_ref().map(|l| {
+                (
+                    l.vm_type.0,
+                    l.wait.as_millis(),
+                    l.queue.last().map(|t| t.0),
+                )
+            }),
+            digest: self.tracker.digest(),
+        }
+    }
+}
+
+/// Hashable identity of a search vertex; see [`SearchState::key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateKey {
+    unassigned: Vec<u16>,
+    last_vm: Option<(u32, u64, Option<u32>)>,
+    digest: PenaltyDigest,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisedb_core::{PenaltyRate, VmType};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    fn goal() -> PerformanceGoal {
+        PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
+            rate: PenaltyRate::CENT_PER_SECOND,
+        }
+    }
+
+    #[test]
+    fn start_vertex_must_rent_first() {
+        let s = SearchState::initial(vec![1, 2], &goal());
+        assert!(!s.is_goal());
+        assert_eq!(s.remaining(), 3);
+        let succ = s.successors(&spec());
+        assert_eq!(succ, vec![Decision::CreateVm(VmTypeId(0))]);
+    }
+
+    #[test]
+    fn reduction_blocks_second_empty_vm() {
+        let s = SearchState::initial(vec![1, 1], &goal());
+        let (s, w) = s
+            .apply(&spec(), &goal(), Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        assert!(w.approx_eq(Money::from_dollars(0.0008), 1e-12));
+        // Last VM is empty: no second start-up edge, placements only.
+        let succ = s.successors(&spec());
+        assert!(succ.iter().all(|d| matches!(d, Decision::Place(_))));
+        assert_eq!(succ.len(), 2);
+    }
+
+    #[test]
+    fn placement_updates_wait_and_counts() {
+        let s = SearchState::initial(vec![1, 1], &goal());
+        let (s, _) = s
+            .apply(&spec(), &goal(), Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        let (s, w) = s
+            .apply(&spec(), &goal(), Decision::Place(TemplateId(0)))
+            .unwrap();
+        // 2 minutes of t2.medium time, no violation (2m <= 3m deadline).
+        assert!(w.approx_eq(Money::from_dollars(0.052 * 2.0 / 60.0), 1e-9));
+        let last = s.last_vm.as_ref().unwrap();
+        assert_eq!(last.wait, Millis::from_mins(2));
+        assert_eq!(s.unassigned, vec![0, 1]);
+
+        // Placing T2 now completes at 3m, 2m past its 1m deadline: the
+        // edge carries the $1.20 penalty (Eq. 2).
+        let w = s
+            .edge_weight(&spec(), &goal(), Decision::Place(TemplateId(1)))
+            .unwrap();
+        let expected = Money::from_dollars(0.052 / 60.0 + 1.20);
+        assert!(w.approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn depleted_templates_are_invalid() {
+        let s = SearchState::initial(vec![0, 1], &goal());
+        let (s, _) = s
+            .apply(&spec(), &goal(), Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        assert!(!s.is_valid(&spec(), Decision::Place(TemplateId(0))));
+        assert!(s.is_valid(&spec(), Decision::Place(TemplateId(1))));
+        assert!(s
+            .apply(&spec(), &goal(), Decision::Place(TemplateId(0)))
+            .is_none());
+    }
+
+    #[test]
+    fn unsupported_vm_types_not_offered() {
+        let spec = WorkloadSpec::new(
+            vec![wisedb_core::QueryTemplate {
+                name: "medium-only".into(),
+                latencies: vec![Some(Millis::from_mins(1)), None],
+            }],
+            vec![VmType::t2_medium(), VmType::t2_small()],
+        )
+        .unwrap();
+        let goal = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(5),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let s = SearchState::initial(vec![2], &goal);
+        // Only the supporting type is offered at the start vertex.
+        assert_eq!(s.successors(&spec), vec![Decision::CreateVm(VmTypeId(0))]);
+
+        // On a small VM, the template cannot be placed.
+        let (on_small, _) = s.apply(&spec, &goal, Decision::CreateVm(VmTypeId(1))).unwrap();
+        assert!(!on_small.is_valid(&spec, Decision::Place(TemplateId(0))));
+    }
+
+    #[test]
+    fn keys_collapse_interior_queue_orderings() {
+        let spec = spec();
+        let goal = goal();
+        let s0 = SearchState::initial(vec![1, 2], &goal);
+        let (s0, _) = s0.apply(&spec, &goal, Decision::CreateVm(VmTypeId(0))).unwrap();
+
+        // Path A: T1, T2, T2. Path B: T2, T1, T2. Same multiset, same
+        // tail — the different interior orderings paid different
+        // penalties (already in g) but share every future option.
+        let (a, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
+        let (a, _) = a.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (a, _) = a.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (b, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (b, _) = b.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
+        let (b, _) = b.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        assert_eq!(a.key(2), b.key(2));
+
+        // Different tails (which gate canonical placements) stay distinct.
+        let (c, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (c, _) = c.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (c, _) = c.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
+        assert_ne!(a.key(2), c.key(2));
+    }
+
+    #[test]
+    fn goal_vertices_have_no_unassigned() {
+        let goal = goal();
+        let s = SearchState::initial(vec![0, 0], &goal);
+        assert!(s.is_goal());
+    }
+}

@@ -1,0 +1,71 @@
+//! # WiSeDB
+//!
+//! A from-scratch Rust reproduction of **"WiSeDB: A Learning-based Workload
+//! Management Advisor for Cloud Databases"** (Ryan Marcus and Olga
+//! Papaemmanouil, VLDB 2016).
+//!
+//! WiSeDB answers three questions for an application running analytical
+//! queries on an IaaS cloud, all at once and for a custom SLA:
+//!
+//! 1. **Provisioning** — how many VMs, of which types, to rent;
+//! 2. **Placement** — which query runs on which VM;
+//! 3. **Scheduling** — in what order each VM processes its queue;
+//!
+//! so that the total of VM start-up fees, rental time, and SLA penalties is
+//! minimized. Instead of a hand-written heuristic per metric, WiSeDB *learns*
+//! a decision-tree policy from optimal schedules of small sample workloads
+//! and then applies it to arbitrarily large batch or online workloads.
+//!
+//! This facade crate re-exports the five subsystem crates:
+//!
+//! * [`core`](wisedb_core) — templates, VM types, schedules, SLAs, Eq. 1.
+//! * [`search`](wisedb_search) — the scheduling graph and (adaptive) A*.
+//! * [`learn`](wisedb_learn) — feature extraction and the decision-tree
+//!   learner.
+//! * [`advisor`](wisedb_advisor) — model generation, batch/online
+//!   scheduling, strategy recommendation, and baseline heuristics.
+//! * [`sim`](wisedb_sim) — the simulated IaaS cloud, workload generators,
+//!   and the TPC-H-like catalog used by the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wisedb::prelude::*;
+//!
+//! // The paper's experimental setup: 10 TPC-H-like templates, t2.medium.
+//! let spec = wisedb::sim::catalog::tpch_like(10);
+//! let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+//!
+//! // Train a decision model on optimal schedules of small sample workloads.
+//! let config = ModelConfig::fast(); // small N for doc tests
+//! let model = ModelGenerator::new(spec.clone(), goal.clone(), config)
+//!     .train()
+//!     .unwrap();
+//!
+//! // Schedule an incoming batch of 30 queries.
+//! let workload = wisedb::sim::generator::uniform_workload(&spec, 30, 42);
+//! let schedule = model.schedule_batch(&workload).unwrap();
+//! let cost = total_cost(&spec, &goal, &schedule).unwrap();
+//! assert!(schedule.num_vms() >= 1);
+//! assert!(cost > Money::ZERO);
+//! ```
+
+pub use wisedb_advisor as advisor;
+pub use wisedb_core as core;
+pub use wisedb_learn as learn;
+pub use wisedb_search as search;
+pub use wisedb_sim as sim;
+
+/// One-stop imports for applications using the advisor.
+pub mod prelude {
+    pub use wisedb_advisor::baselines::{self, Heuristic};
+    pub use wisedb_advisor::model::{DecisionModel, ModelConfig, ModelGenerator};
+    pub use wisedb_advisor::online::{OnlineConfig, OnlineScheduler};
+    pub use wisedb_advisor::strategy::{StrategyRecommender, RecommenderConfig};
+    pub use wisedb_core::{
+        cost_breakdown, total_cost, CostBreakdown, GoalKind, Millis, Money, PenaltyRate,
+        PerformanceGoal, Query, QueryId, QueryTemplate, Schedule, TemplateId, VmType, VmTypeId,
+        Workload, WorkloadSpec,
+    };
+    pub use wisedb_search::astar::{AStarSearcher, OptimalSchedule};
+}
