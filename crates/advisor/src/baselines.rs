@@ -57,10 +57,7 @@ impl Heuristic {
     ) -> CoreResult<Schedule> {
         workload.validate_against(spec)?;
         let vm_type = VmTypeId(0);
-        let latency = |q: &Query| {
-            spec.latency(q.template, vm_type)
-                .unwrap_or(Millis::ZERO)
-        };
+        let latency = |q: &Query| spec.latency(q.template, vm_type).unwrap_or(Millis::ZERO);
 
         let mut ordered: Vec<Query> = workload.queries().to_vec();
         ordered.sort_by_key(|q| (latency(q), q.id));
@@ -161,8 +158,8 @@ impl<'a> FitTracker<'a> {
                 let new_over = self.over_deadline + u64::from(completion > *deadline);
                 // Allowed fraction over the deadline across the whole
                 // workload; filling VMs is judged against the final size.
-                let allowed = ((100.0 - percent) / 100.0 * self.total_queries as f64).floor()
-                    as u64;
+                let allowed =
+                    ((100.0 - percent) / 100.0 * self.total_queries as f64).floor() as u64;
                 new_over <= allowed
             }
         }
@@ -247,12 +244,7 @@ mod tests {
         // 12 queries: 10 short (T3), 2 long (T1).
         let workload = Workload::from_counts(&[2, 0, 10]);
         let mut ordered: Vec<Query> = workload.queries().to_vec();
-        ordered.sort_by_key(|q| {
-            (
-                spec.latency(q.template, VmTypeId(0)).unwrap(),
-                q.id,
-            )
-        });
+        ordered.sort_by_key(|q| (spec.latency(q.template, VmTypeId(0)).unwrap(), q.id));
         let packed = pack9_order(ordered);
         // First nine are short, tenth is the largest (a T1).
         for q in &packed[..9] {

@@ -165,8 +165,7 @@ fn placement_is_dominated(
             // fresh VM refunds `rate·w/n` of penalty for one start-up fee,
             // so optimal schedules never queue long waits behind an
             // already-blown mean.
-            let wisedb_core::PenaltyTracker::Average { sum_ms, count } = &state.tracker
-            else {
+            let wisedb_core::PenaltyTracker::Average { sum_ms, count } = &state.tracker else {
                 return false;
             };
             let new_sum = *sum_ms + completion.as_millis() as u128;

@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use wisedb_core::{
-    CoreResult, PerformanceGoal, Schedule, TemplateId, Workload, WorkloadSpec,
-};
+use wisedb_core::{CoreResult, PerformanceGoal, Schedule, TemplateId, Workload, WorkloadSpec};
 use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
 use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig};
 
@@ -155,7 +153,9 @@ impl DecisionModel {
                 .latency(t, wisedb_core::VmTypeId(0))
                 .or_else(|| self.spec.template(t).ok().and_then(|q| q.min_latency()))
                 .unwrap_or(wisedb_core::Millis::ZERO);
-            let diff = reference.as_millis().abs_diff(predicted_latency.as_millis());
+            let diff = reference
+                .as_millis()
+                .abs_diff(predicted_latency.as_millis());
             if diff < best_diff {
                 best_diff = diff;
                 best = t;
@@ -179,10 +179,10 @@ impl DecisionModel {
     pub fn render_tree(&self) -> String {
         let schema = self.schema;
         let nt = schema.num_templates;
-        self.tree.render(
-            &move |f| schema.feature_name(f),
-            &move |l| wisedb_search::Decision::from_label(l, nt).to_string(),
-        )
+        self.tree
+            .render(&move |f| schema.feature_name(f), &move |l| {
+                wisedb_search::Decision::from_label(l, nt).to_string()
+            })
     }
 }
 
@@ -236,8 +236,9 @@ impl ModelGenerator {
     pub fn train_with_artifacts(&self) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
         self.goal.validate_against(&self.spec)?;
         let samples = self.sample_workloads();
-        let mut searchers: Vec<AdaptiveSearcher> =
-            (0..samples.len()).map(|_| AdaptiveSearcher::new()).collect();
+        let mut searchers: Vec<AdaptiveSearcher> = (0..samples.len())
+            .map(|_| AdaptiveSearcher::new())
+            .collect();
         let start = Instant::now();
         let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(samples.len());
         let mut expanded = 0u64;
@@ -248,13 +249,7 @@ impl ModelGenerator {
             paths.push(solved);
         }
         let model = self.fit_tree(&paths, expanded, start);
-        Ok((
-            model,
-            TrainingArtifacts {
-                samples,
-                searchers,
-            },
-        ))
+        Ok((model, TrainingArtifacts { samples, searchers }))
     }
 
     /// Re-trains for a goal **at least as strict** as the one the artifacts
@@ -269,11 +264,7 @@ impl ModelGenerator {
         let start = Instant::now();
         let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(artifacts.samples.len());
         let mut expanded = 0u64;
-        for (workload, searcher) in artifacts
-            .samples
-            .iter()
-            .zip(artifacts.searchers.iter_mut())
-        {
+        for (workload, searcher) in artifacts.samples.iter().zip(artifacts.searchers.iter_mut()) {
             let solved = searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
             expanded += solved.stats.expanded;
             paths.push(solved);
@@ -430,7 +421,9 @@ mod tests {
     fn model_serde_round_trip() {
         let spec = small_spec();
         let goal = PerformanceGoal::paper_default(GoalKind::PerQuery, &spec).unwrap();
-        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config())
+            .train()
+            .unwrap();
         let json = model.to_json().unwrap();
         let back = DecisionModel::from_json(&json).unwrap();
         let w = Workload::from_counts(&[2, 2, 2]);
@@ -444,12 +437,11 @@ mod tests {
     fn nearest_template_matches_by_latency() {
         let spec = small_spec();
         let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
-        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config())
+            .train()
+            .unwrap();
         // 65s is closest to T2 (60s); 170s closest to T3 (180s).
-        assert_eq!(
-            model.nearest_template(Millis::from_secs(65)),
-            TemplateId(1)
-        );
+        assert_eq!(model.nearest_template(Millis::from_secs(65)), TemplateId(1));
         assert_eq!(
             model.nearest_template(Millis::from_secs(170)),
             TemplateId(2)
@@ -460,7 +452,9 @@ mod tests {
     fn render_tree_speaks_figure_six() {
         let spec = small_spec();
         let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
-        let model = ModelGenerator::new(spec, goal, tiny_config()).train().unwrap();
+        let model = ModelGenerator::new(spec, goal, tiny_config())
+            .train()
+            .unwrap();
         let text = model.render_tree();
         assert!(text.contains("assign-") || text.contains("new-"));
     }

@@ -462,10 +462,12 @@ impl OnlineScheduler {
                     .map(|(d, _)| d)
                     .collect()
             }
-            Planner::Optimal => AStarSearcher::new(sched_spec, sched_goal)
-                .with_config(self.config.oracle_search.clone())
-                .plan_from(state)?
-                .decisions,
+            Planner::Optimal => {
+                AStarSearcher::new(sched_spec, sched_goal)
+                    .with_config(self.config.oracle_search.clone())
+                    .plan_from(state)?
+                    .decisions
+            }
         };
 
         // -- Apply: record tentative assignments. --
@@ -505,7 +507,11 @@ impl OnlineScheduler {
         batch: &[PendingQuery],
         now: Millis,
         quantum: u64,
-    ) -> CoreResult<(WorkloadSpec, PerformanceGoal, HashMap<(u32, u64), TemplateId>)> {
+    ) -> CoreResult<(
+        WorkloadSpec,
+        PerformanceGoal,
+        HashMap<(u32, u64), TemplateId>,
+    )> {
         let mut spec = self.spec.clone();
         let mut goal = self.goal.clone();
         let mut map: HashMap<(u32, u64), TemplateId> = HashMap::new();
@@ -524,11 +530,7 @@ impl OnlineScheduler {
             let wait = Millis::from_millis(bucket * quantum);
             let aged = QueryTemplate {
                 name: format!("{}+{}", base.name, wait),
-                latencies: base
-                    .latencies
-                    .iter()
-                    .map(|l| l.map(|l| l + wait))
-                    .collect(),
+                latencies: base.latencies.iter().map(|l| l.map(|l| l + wait)).collect(),
             };
             let id = TemplateId(spec.num_templates() as u32);
             spec = spec.with_extra_template(aged)?;

@@ -121,8 +121,11 @@ impl StrategyRecommender {
             .collect();
 
         let loosest = self.goal.tighten_pct(&self.spec, strictness[0]);
-        let generator =
-            ModelGenerator::new(self.spec.clone(), loosest.clone(), self.config.training.clone());
+        let generator = ModelGenerator::new(
+            self.spec.clone(),
+            loosest.clone(),
+            self.config.training.clone(),
+        );
         let (first_model, mut artifacts) = generator.train_with_artifacts()?;
 
         let mut strategies: Vec<Strategy> = Vec::with_capacity(n);
@@ -374,7 +377,9 @@ mod tests {
         assert_eq!(full.len(), 5);
 
         cfg.keep = 2;
-        let pruned = StrategyRecommender::new(spec, goal, cfg).recommend().unwrap();
+        let pruned = StrategyRecommender::new(spec, goal, cfg)
+            .recommend()
+            .unwrap();
         assert_eq!(pruned.len(), 2);
         // Pruned strategies are a subset of the ladder's strictness values,
         // still sorted, and pruning never invents new goals.

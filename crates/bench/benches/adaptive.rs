@@ -30,9 +30,7 @@ fn adaptive_vs_fresh(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || generator.train_with_artifacts().unwrap().1,
-                    |mut artifacts| {
-                        generator.retrain_tightened(&goal, &mut artifacts).unwrap()
-                    },
+                    |mut artifacts| generator.retrain_tightened(&goal, &mut artifacts).unwrap(),
                     criterion::BatchSize::LargeInput,
                 )
             },

@@ -46,17 +46,9 @@ fn astar_solve_kernel(c: &mut Criterion) {
     for kind in GoalKind::ALL {
         let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
         let workload = wisedb::sim::generator::uniform_workload(&spec, 18, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    AStarSearcher::new(&spec, &goal)
-                        .solve(&workload)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| AStarSearcher::new(&spec, &goal).solve(&workload).unwrap())
+        });
     }
     group.finish();
 }
@@ -75,5 +67,10 @@ fn baseline_heuristics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, batch_scheduling, astar_solve_kernel, baseline_heuristics);
+criterion_group!(
+    benches,
+    batch_scheduling,
+    astar_solve_kernel,
+    baseline_heuristics
+);
 criterion_main!(benches);

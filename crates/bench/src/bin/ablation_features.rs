@@ -101,7 +101,10 @@ fn main() {
 
     // Shared training paths: the ablation compares *feature sets*, not
     // training corpora.
-    eprintln!("ablation: solving {} sample workloads...", config.num_samples);
+    eprintln!(
+        "ablation: solving {} sample workloads...",
+        config.num_samples
+    );
     let generator = wisedb::advisor::ModelGenerator::new(spec.clone(), goal.clone(), config);
     let samples = generator.sample_workloads();
     let paths: Vec<_> = samples

@@ -36,5 +36,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("No single heuristic wins everywhere; WiSeDB should be at or near the best in every row.");
+    println!(
+        "No single heuristic wins everywhere; WiSeDB should be at or near the best in every row."
+    );
 }

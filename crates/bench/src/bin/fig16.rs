@@ -13,18 +13,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 16: adaptive retraining time (s) vs SLA shift",
-        &[
-            "goal", "initial", "10%", "20%", "40%", "60%", "80%", "100%",
-        ],
+        &["goal", "initial", "10%", "20%", "40%", "60%", "80%", "100%"],
     );
     for kind in GoalKind::ALL {
         eprintln!("fig16: {}...", kind.name());
         let base = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
         let generator = ModelGenerator::new(spec.clone(), base.clone(), scale.training());
         let start = std::time::Instant::now();
-        let (_, mut artifacts) = generator
-            .train_with_artifacts()
-            .expect("training succeeds");
+        let (_, mut artifacts) = generator.train_with_artifacts().expect("training succeeds");
         let initial_secs = start.elapsed().as_secs_f64();
 
         let mut cells = vec![kind.name().to_string(), format!("{initial_secs:.2}")];

@@ -19,7 +19,12 @@ fn main() {
     let sizes = [10_000usize, 20_000, 30_000];
     let mut table = Table::new(
         "Figure 17: scheduling time (s) vs batch size",
-        &["batch size", "time (s)", "per-query (µs)", "VMs provisioned"],
+        &[
+            "batch size",
+            "time (s)",
+            "per-query (µs)",
+            "VMs provisioned",
+        ],
     );
     for &size in &sizes {
         let w = wisedb::sim::generator::uniform_workload(&spec, size, 17_000);

@@ -19,8 +19,11 @@ fn main() {
         let goal = PerformanceGoal::paper_default(kind, &spec).expect("defaults exist");
         let mut cells = vec![kind.name().to_string()];
         for &delay in &delays_s {
-            let workload =
-                wisedb::sim::generator::uniform_workload(&spec, 30, 18_000 + (delay * 100.0) as u64);
+            let workload = wisedb::sim::generator::uniform_workload(
+                &spec,
+                30,
+                18_000 + (delay * 100.0) as u64,
+            );
             let stream: Vec<ArrivingQuery> = workload
                 .queries()
                 .iter()

@@ -32,14 +32,13 @@ fn main() {
     for &skew in &skews {
         let mut costs = Vec::with_capacity(per_level);
         for rep in 0..per_level {
-            let w = wisedb::sim::generator::skewed_workload(
-                &spec,
-                30,
-                skew,
-                21_000 + rep as u64,
-            );
+            let w = wisedb::sim::generator::skewed_workload(&spec, 30, skew, 21_000 + rep as u64);
             let s = model.schedule_batch(&w).expect("scheduling succeeds");
-            costs.push(total_cost(&spec, &goal, &s).expect("cost computes").as_dollars());
+            costs.push(
+                total_cost(&spec, &goal, &s)
+                    .expect("cost computes")
+                    .as_dollars(),
+            );
         }
         let mean = stats::mean(&costs);
         let std = stats::std_dev(&costs);

@@ -64,7 +64,10 @@ fn main() {
         "Mean misassignment per σ: {:?}",
         missed
             .iter()
-            .map(|m| format!("{:.0}%", m / (missed_n as f64 / sigmas.len() as f64) * 100.0))
+            .map(|m| format!(
+                "{:.0}%",
+                m / (missed_n as f64 / sigmas.len() as f64) * 100.0
+            ))
             .collect::<Vec<_>>()
     );
     println!("Note: our catalog spaces templates evenly ~27s apart, so misassignment (and the");

@@ -5,8 +5,8 @@ use std::process::Command;
 
 fn main() {
     let figs = [
-        "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19", "fig20", "fig21", "fig22",
+        "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "fig19", "fig20", "fig21", "fig22",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe dir");

@@ -104,7 +104,10 @@ impl fmt::Display for CoreError {
                 write!(f, "schedule does not cover the workload exactly: {detail}")
             }
             CoreError::InvalidPercentile { percent } => {
-                write!(f, "percentile goals require 0 < percent <= 100, got {percent}")
+                write!(
+                    f,
+                    "percentile goals require 0 < percent <= 100, got {percent}"
+                )
             }
             CoreError::DeadlineArityMismatch { got, expected } => write!(
                 f,

@@ -260,12 +260,10 @@ impl PerformanceGoal {
                 deadline: interpolate(*deadline, spec.strictest_feasible_deadline(), p),
                 rate: *rate,
             },
-            PerformanceGoal::AverageLatency { target, rate } => {
-                PerformanceGoal::AverageLatency {
-                    target: interpolate(*target, spec.mean_min_latency(), p),
-                    rate: *rate,
-                }
-            }
+            PerformanceGoal::AverageLatency { target, rate } => PerformanceGoal::AverageLatency {
+                target: interpolate(*target, spec.mean_min_latency(), p),
+                rate: *rate,
+            },
             PerformanceGoal::Percentile {
                 percent,
                 deadline,
@@ -290,12 +288,10 @@ impl PerformanceGoal {
                     .collect(),
                 rate: *rate,
             }),
-            PerformanceGoal::MaxLatency { deadline, rate } => {
-                Some(PerformanceGoal::MaxLatency {
-                    deadline: deadline.saturating_sub(elapsed),
-                    rate: *rate,
-                })
-            }
+            PerformanceGoal::MaxLatency { deadline, rate } => Some(PerformanceGoal::MaxLatency {
+                deadline: deadline.saturating_sub(elapsed),
+                rate: *rate,
+            }),
             _ => None,
         }
     }
@@ -381,10 +377,7 @@ impl PenaltyTracker {
                 }
                 this.penalty(goal) - before
             }
-            (
-                this @ PenaltyTracker::Percentile { .. },
-                PerformanceGoal::Percentile { .. },
-            ) => {
+            (this @ PenaltyTracker::Percentile { .. }, PerformanceGoal::Percentile { .. }) => {
                 if let PenaltyTracker::Percentile { sorted_ms } = this {
                     let ms = completion.as_millis();
                     let pos = sorted_ms.partition_point(|&x| x <= ms);
@@ -519,7 +512,9 @@ mod tests {
         };
         // 3m and 4m completions exceed by 1m and 2m => 180s => $1.80.
         let lats = [lat(0, 0, 3), lat(1, 0, 4), lat(2, 1, 1)];
-        assert!(goal.penalty(&lats).approx_eq(Money::from_dollars(1.80), 1e-9));
+        assert!(goal
+            .penalty(&lats)
+            .approx_eq(Money::from_dollars(1.80), 1e-9));
     }
 
     #[test]
@@ -530,7 +525,9 @@ mod tests {
         };
         // Mean of 1m and 5m = 3m: one minute over => $0.60.
         let lats = [lat(0, 0, 1), lat(1, 0, 5)];
-        assert!(goal.penalty(&lats).approx_eq(Money::from_dollars(0.60), 1e-9));
+        assert!(goal
+            .penalty(&lats)
+            .approx_eq(Money::from_dollars(0.60), 1e-9));
         // Mean exactly at target: no penalty.
         let lats = [lat(0, 0, 1), lat(1, 0, 3)];
         assert_eq!(goal.penalty(&lats), Money::ZERO);

@@ -161,9 +161,7 @@ impl PenaltyRate {
 
     /// A rate of `amount` per second of violation.
     pub const fn per_second(amount: Money) -> Self {
-        PenaltyRate {
-            per_second: amount,
-        }
+        PenaltyRate { per_second: amount }
     }
 
     /// The penalty for a violation period of `duration`.

@@ -48,12 +48,12 @@ impl VmInstance {
     pub fn busy_time(&self, spec: &WorkloadSpec) -> CoreResult<Millis> {
         let mut total = Millis::ZERO;
         for p in &self.queue {
-            total += spec
-                .latency(p.template, self.vm_type)
-                .ok_or(CoreError::UnsupportedPlacement {
-                    template: p.template,
-                    vm_type: self.vm_type,
-                })?;
+            total +=
+                spec.latency(p.template, self.vm_type)
+                    .ok_or(CoreError::UnsupportedPlacement {
+                        template: p.template,
+                        vm_type: self.vm_type,
+                    })?;
         }
         Ok(total)
     }
@@ -223,12 +223,8 @@ mod tests {
 
     /// Figure 3, scenario 2: vm1 = [q1(T1), q2(T2)], vm2 = [q3(T2), q4(T2)].
     fn scenario_two() -> (Workload, Schedule) {
-        let workload = Workload::from_templates([
-            TemplateId(0),
-            TemplateId(1),
-            TemplateId(1),
-            TemplateId(1),
-        ]);
+        let workload =
+            Workload::from_templates([TemplateId(0), TemplateId(1), TemplateId(1), TemplateId(1)]);
         let schedule = Schedule {
             vms: vec![
                 VmInstance {

@@ -203,11 +203,8 @@ mod tests {
             CoreError::NoTemplates
         );
         assert_eq!(
-            WorkloadSpec::new(
-                vec![QueryTemplate::single("q", Millis::SECOND)],
-                vec![]
-            )
-            .unwrap_err(),
+            WorkloadSpec::new(vec![QueryTemplate::single("q", Millis::SECOND)], vec![])
+                .unwrap_err(),
             CoreError::NoVmTypes
         );
     }

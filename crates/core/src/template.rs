@@ -14,9 +14,7 @@ use crate::time::Millis;
 use crate::vm::VmTypeId;
 
 /// Index of a template within a [`crate::spec::WorkloadSpec`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TemplateId(pub u32);
 
@@ -113,10 +111,7 @@ mod tests {
 
     #[test]
     fn min_max_latency() {
-        let t = QueryTemplate::uniform(
-            "q",
-            vec![Millis::from_secs(10), Millis::from_secs(25)],
-        );
+        let t = QueryTemplate::uniform("q", vec![Millis::from_secs(10), Millis::from_secs(25)]);
         assert_eq!(t.min_latency(), Some(Millis::from_secs(10)));
         assert_eq!(t.max_latency(), Some(Millis::from_secs(25)));
 

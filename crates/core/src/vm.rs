@@ -14,9 +14,7 @@ use crate::money::Money;
 use crate::time::Millis;
 
 /// Index of a VM type within a [`crate::spec::WorkloadSpec`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct VmTypeId(pub u32);
 

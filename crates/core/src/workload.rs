@@ -9,9 +9,7 @@ use crate::spec::WorkloadSpec;
 use crate::template::TemplateId;
 
 /// Identifier of a concrete query instance within one workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct QueryId(pub u32);
 
@@ -169,11 +167,8 @@ mod tests {
 
     #[test]
     fn validate_against_catches_foreign_templates() {
-        let spec = WorkloadSpec::single_vm(
-            vec![("a", Millis::from_mins(1))],
-            VmType::t2_medium(),
-        )
-        .unwrap();
+        let spec = WorkloadSpec::single_vm(vec![("a", Millis::from_mins(1))], VmType::t2_medium())
+            .unwrap();
         let ok = Workload::from_counts(&[3]);
         assert!(ok.validate_against(&spec).is_ok());
         let bad = Workload::from_templates([TemplateId(5)]);

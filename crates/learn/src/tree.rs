@@ -308,8 +308,8 @@ impl Builder<'_> {
         };
         if self.params.prune {
             let subtree_errs = node.pessimistic_errors(self.params.confidence);
-            let leaf_errs = errors as f64
-                + add_errs(idx.len() as f64, errors as f64, self.params.confidence);
+            let leaf_errs =
+                errors as f64 + add_errs(idx.len() as f64, errors as f64, self.params.confidence);
             // J48's subtree-replacement rule (with its 0.1 slack).
             if leaf_errs <= subtree_errs + 0.1 {
                 return leaf;
@@ -351,9 +351,8 @@ impl Builder<'_> {
                     .map(|(&c, &l)| c - l)
                     .collect();
                 let h_right = entropy(&right_counts, right_n);
-                let gain = base_entropy
-                    - (left_n as f64 / n) * h_left
-                    - (right_n as f64 / n) * h_right;
+                let gain =
+                    base_entropy - (left_n as f64 / n) * h_left - (right_n as f64 / n) * h_right;
                 if gain <= 1e-12 {
                     continue;
                 }
@@ -446,8 +445,7 @@ fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_inverse(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n) - e
 }

@@ -164,10 +164,7 @@ mod tests {
                 .solve(&spec, &goal, &workload, SearchConfig::default())
                 .unwrap();
             if let Some(prev) = last {
-                assert!(
-                    result.cost >= prev,
-                    "tightening to {pct} lowered cost"
-                );
+                assert!(result.cost >= prev, "tightening to {pct} lowered cost");
             }
             last = Some(result.cost);
         }

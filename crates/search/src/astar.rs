@@ -284,11 +284,7 @@ impl<'a> AStarSearcher<'a> {
 
         // A quick greedy completion bounds the optimum from above: any
         // vertex whose f exceeds it can never be on an optimal path.
-        let upper_bound = self
-            .greedy_completion(&initial, stats)
-            .cost
-            .as_dollars()
-            + G_EPS;
+        let upper_bound = self.greedy_completion(&initial, stats).cost.as_dollars() + G_EPS;
 
         // Incumbent: best goal vertex generated so far, as a fallback when
         // the node limit is hit.
@@ -334,8 +330,7 @@ impl<'a> AStarSearcher<'a> {
                         continue;
                     }
                 }
-                let Some((next, weight)) = node_state.apply(self.spec, self.goal, decision)
-                else {
+                let Some((next, weight)) = node_state.apply(self.spec, self.goal, decision) else {
                     continue;
                 };
                 stats.generated += 1;
@@ -433,8 +428,7 @@ impl<'a> AStarSearcher<'a> {
                         // Price renting by the fee plus the cheapest first
                         // placement the fresh VM would then offer, so a
                         // penalized stack loses to opening a new VM.
-                        let Some((fresh, startup)) = state.apply(self.spec, self.goal, d)
-                        else {
+                        let Some((fresh, startup)) = state.apply(self.spec, self.goal, d) else {
                             continue;
                         };
                         let next_best = self
@@ -542,7 +536,7 @@ pub fn solve_counts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wisedb_core::{total_cost, Millis, PenaltyRate, TemplateId, VmType};
+    use wisedb_core::{total_cost, Millis, PenaltyRate, VmType};
 
     fn fig3_spec() -> WorkloadSpec {
         WorkloadSpec::single_vm(
@@ -612,8 +606,7 @@ mod tests {
         result.schedule.validate_complete(&workload).unwrap();
         // S' = {[T1,T2,T3], [T1,T2,T3]}: two VMs, zero penalty.
         assert_eq!(result.schedule.num_vms(), 2);
-        let breakdown =
-            wisedb_core::cost_breakdown(&spec, &goal, &result.schedule).unwrap();
+        let breakdown = wisedb_core::cost_breakdown(&spec, &goal, &result.schedule).unwrap();
         assert_eq!(breakdown.penalty, Money::ZERO);
     }
 
@@ -684,10 +677,7 @@ mod tests {
         // Replaying weights reproduces the cost.
         let mut cost = Money::ZERO;
         for step in &result.steps {
-            let w = step
-                .state
-                .edge_weight(&spec, &goal, step.decision)
-                .unwrap();
+            let w = step.state.edge_weight(&spec, &goal, step.decision).unwrap();
             cost += w;
         }
         assert!(cost.approx_eq(result.cost, 1e-9));
@@ -752,11 +742,7 @@ mod tests {
 
     /// Exhaustively enumerates every partition of the workload into ordered
     /// VM queues (single VM type) and returns the best cost.
-    fn brute_force_best(
-        spec: &WorkloadSpec,
-        goal: &PerformanceGoal,
-        workload: &Workload,
-    ) -> Money {
+    fn brute_force_best(spec: &WorkloadSpec, goal: &PerformanceGoal, workload: &Workload) -> Money {
         fn go(
             spec: &WorkloadSpec,
             goal: &PerformanceGoal,
@@ -784,10 +770,15 @@ mod tests {
                 }
                 // ...or a fresh VM.
                 schedule.vms.push(VmInstance::new(wisedb_core::VmTypeId(0)));
-                schedule.vms.last_mut().unwrap().queue.push(wisedb_core::Placement {
-                    query: q.id,
-                    template: q.template,
-                });
+                schedule
+                    .vms
+                    .last_mut()
+                    .unwrap()
+                    .queue
+                    .push(wisedb_core::Placement {
+                        query: q.id,
+                        template: q.template,
+                    });
                 go(spec, goal, remaining, schedule, best);
                 schedule.vms.pop();
                 remaining.insert(i, q);
@@ -824,8 +815,12 @@ mod tests {
             }
         }
         runs.push(current);
-        let queue_sizes: Vec<usize> =
-            result.schedule.vms.iter().map(|vm| vm.queue.len()).collect();
+        let queue_sizes: Vec<usize> = result
+            .schedule
+            .vms
+            .iter()
+            .map(|vm| vm.queue.len())
+            .collect();
         assert_eq!(runs, queue_sizes);
     }
 }

@@ -69,9 +69,7 @@ impl CanonicalOrder {
                         }
                     }
                     // Track the largest deadline seen at ≤ this latency.
-                    let carried = prev
-                        .map(|(_, pd)| pd.max(deadline))
-                        .unwrap_or(deadline);
+                    let carried = prev.map(|(_, pd)| pd.max(deadline)).unwrap_or(deadline);
                     prev = Some((latency, carried));
                 }
             }

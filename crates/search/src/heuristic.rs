@@ -48,10 +48,7 @@ impl HeuristicTable {
 
     /// Cheapest processing cost of one instance of `t`.
     pub fn cheapest(&self, t: TemplateId) -> Money {
-        self.cheapest
-            .get(t.index())
-            .copied()
-            .unwrap_or(Money::ZERO)
+        self.cheapest.get(t.index()).copied().unwrap_or(Money::ZERO)
     }
 
     /// Sum of cheapest processing costs over all unassigned queries:
@@ -80,11 +77,7 @@ impl HeuristicTable {
     ///   completes at its fastest possible execution time. At a goal vertex
     ///   the estimate is exactly zero, which the optimality argument for
     ///   inconsistent heuristics relies on.
-    pub fn estimate(
-        &self,
-        goal: &PerformanceGoal,
-        state: &SearchState,
-    ) -> Money {
+    pub fn estimate(&self, goal: &PerformanceGoal, state: &SearchState) -> Money {
         if state.is_goal() {
             return Money::ZERO;
         }
@@ -174,11 +167,7 @@ impl HeuristicTable {
     /// The bound is the minimum over `V ≥ 0` of that convex piecewise-
     /// linear function — evaluated at the two integers around
     /// `(W − S)/D`.
-    fn startup_overflow_bound(
-        &self,
-        goal: &PerformanceGoal,
-        state: &SearchState,
-    ) -> Money {
+    fn startup_overflow_bound(&self, goal: &PerformanceGoal, state: &SearchState) -> Money {
         // Deadline classes d₁ < d₂ < … with Wₖ = fastest-possible work of
         // remaining queries whose deadline is ≤ dₖ. For each class, every
         // machine can absorb at most dₖ of that work penalty-free (its
@@ -281,11 +270,7 @@ impl HeuristicTable {
     /// completions can only be slower than the fastest execution of each
     /// remaining query, and both the mean and any order statistic are
     /// monotone in each completion time.
-    fn final_penalty_lower_bound(
-        &self,
-        goal: &PerformanceGoal,
-        state: &SearchState,
-    ) -> Money {
+    fn final_penalty_lower_bound(&self, goal: &PerformanceGoal, state: &SearchState) -> Money {
         match (goal, &state.tracker) {
             (
                 PerformanceGoal::AverageLatency { target, rate },

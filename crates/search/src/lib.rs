@@ -19,16 +19,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
-pub mod canonical;
 pub mod astar;
+pub mod canonical;
 pub mod decision;
 pub mod heuristic;
 pub mod state;
 
 pub use adaptive::AdaptiveSearcher;
 pub use astar::{
-    solve_counts, AStarSearcher, DecisionStep, HeuristicMemo, OptimalSchedule, Plan,
-    SearchConfig, SearchStats,
+    solve_counts, AStarSearcher, DecisionStep, HeuristicMemo, OptimalSchedule, Plan, SearchConfig,
+    SearchStats,
 };
 pub use canonical::CanonicalOrder;
 pub use decision::Decision;

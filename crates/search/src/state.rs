@@ -238,13 +238,10 @@ impl SearchState {
         let _ = num_templates;
         StateKey {
             unassigned: self.unassigned.clone(),
-            last_vm: self.last_vm.as_ref().map(|l| {
-                (
-                    l.vm_type.0,
-                    l.wait.as_millis(),
-                    l.queue.last().map(|t| t.0),
-                )
-            }),
+            last_vm: self
+                .last_vm
+                .as_ref()
+                .map(|l| (l.vm_type.0, l.wait.as_millis(), l.queue.last().map(|t| t.0))),
             digest: self.tracker.digest(),
         }
     }
@@ -356,7 +353,9 @@ mod tests {
         assert_eq!(s.successors(&spec), vec![Decision::CreateVm(VmTypeId(0))]);
 
         // On a small VM, the template cannot be placed.
-        let (on_small, _) = s.apply(&spec, &goal, Decision::CreateVm(VmTypeId(1))).unwrap();
+        let (on_small, _) = s
+            .apply(&spec, &goal, Decision::CreateVm(VmTypeId(1)))
+            .unwrap();
         assert!(!on_small.is_valid(&spec, Decision::Place(TemplateId(0))));
     }
 
@@ -365,23 +364,43 @@ mod tests {
         let spec = spec();
         let goal = goal();
         let s0 = SearchState::initial(vec![1, 2], &goal);
-        let (s0, _) = s0.apply(&spec, &goal, Decision::CreateVm(VmTypeId(0))).unwrap();
+        let (s0, _) = s0
+            .apply(&spec, &goal, Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
 
         // Path A: T1, T2, T2. Path B: T2, T1, T2. Same multiset, same
         // tail — the different interior orderings paid different
         // penalties (already in g) but share every future option.
-        let (a, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
-        let (a, _) = a.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
-        let (a, _) = a.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
-        let (b, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
-        let (b, _) = b.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
-        let (b, _) = b.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
+        let (a, _) = s0
+            .apply(&spec, &goal, Decision::Place(TemplateId(0)))
+            .unwrap();
+        let (a, _) = a
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (a, _) = a
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (b, _) = s0
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (b, _) = b
+            .apply(&spec, &goal, Decision::Place(TemplateId(0)))
+            .unwrap();
+        let (b, _) = b
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
         assert_eq!(a.key(2), b.key(2));
 
         // Different tails (which gate canonical placements) stay distinct.
-        let (c, _) = s0.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
-        let (c, _) = c.apply(&spec, &goal, Decision::Place(TemplateId(1))).unwrap();
-        let (c, _) = c.apply(&spec, &goal, Decision::Place(TemplateId(0))).unwrap();
+        let (c, _) = s0
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (c, _) = c
+            .apply(&spec, &goal, Decision::Place(TemplateId(1)))
+            .unwrap();
+        let (c, _) = c
+            .apply(&spec, &goal, Decision::Place(TemplateId(0)))
+            .unwrap();
         assert_ne!(a.key(2), c.key(2));
     }
 

@@ -72,7 +72,9 @@ pub fn tpch_like_k_types(n: usize, k: usize) -> WorkloadSpec {
     let templates = (0..n)
         .map(|i| {
             let base = reference_latency(i, n);
-            let latencies = (0..k).map(|j| base.mul_f64(1.0 + 0.25 * j as f64)).collect();
+            let latencies = (0..k)
+                .map(|j| base.mul_f64(1.0 + 0.25 * j as f64))
+                .collect();
             QueryTemplate::uniform(format!("TPC-H-like Q{}", i + 1), latencies)
         })
         .collect();

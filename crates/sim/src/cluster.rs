@@ -198,7 +198,7 @@ mod tests {
     use wisedb_core::{total_cost, GoalKind, Placement, VmInstance, Workload};
     use wisedb_search::AStarSearcher;
 
-    fn simple_schedule(spec: &WorkloadSpec, workload: &Workload) -> Schedule {
+    fn simple_schedule(_spec: &WorkloadSpec, workload: &Workload) -> Schedule {
         // Everything on one VM of type 0 in workload order.
         let mut vm = VmInstance::new(VmTypeId(0));
         for q in workload.queries() {
@@ -215,7 +215,10 @@ mod tests {
         let spec = tpch_like(10);
         let workload = uniform_workload(&spec, 12, 3);
         let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
-        let schedule = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap().schedule;
+        let schedule = AStarSearcher::new(&spec, &goal)
+            .solve(&workload)
+            .unwrap()
+            .schedule;
         let trace = execute(&spec, &schedule, &SimOptions::default()).unwrap();
         let simulated = trace.total_cost(&goal);
         let analytic = total_cost(&spec, &goal, &schedule).unwrap();
@@ -351,7 +354,10 @@ mod tests {
                 name: "medium-only".into(),
                 latencies: vec![Some(Millis::from_mins(1)), None],
             }],
-            vec![wisedb_core::VmType::t2_medium(), wisedb_core::VmType::t2_small()],
+            vec![
+                wisedb_core::VmType::t2_medium(),
+                wisedb_core::VmType::t2_small(),
+            ],
         )
         .unwrap();
         let schedule = Schedule {

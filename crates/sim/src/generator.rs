@@ -163,8 +163,14 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let spec = tpch_like(5);
-        assert_eq!(uniform_workload(&spec, 20, 1), uniform_workload(&spec, 20, 1));
-        assert_ne!(uniform_workload(&spec, 20, 1), uniform_workload(&spec, 20, 2));
+        assert_eq!(
+            uniform_workload(&spec, 20, 1),
+            uniform_workload(&spec, 20, 1)
+        );
+        assert_ne!(
+            uniform_workload(&spec, 20, 1),
+            uniform_workload(&spec, 20, 2)
+        );
     }
 
     #[test]
@@ -182,7 +188,10 @@ mod tests {
         let heavy = skewed_workload(&spec, 300, 0.95, 11);
         let s_u = stats::chi_squared_stat(&uniform.template_counts(10));
         let s_h = stats::chi_squared_stat(&heavy.template_counts(10));
-        assert!(s_h > s_u * 5.0, "skew should inflate chi-squared: {s_u} vs {s_h}");
+        assert!(
+            s_h > s_u * 5.0,
+            "skew should inflate chi-squared: {s_u} vs {s_h}"
+        );
 
         let single = skewed_workload(&spec, 50, 1.0, 11);
         let counts = single.template_counts(10);

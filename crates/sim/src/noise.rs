@@ -112,10 +112,7 @@ mod tests {
         assert_eq!(p.perceived, w);
         // True latencies equal the catalog's.
         for (q, &lat) in w.queries().iter().zip(&p.true_latencies) {
-            assert_eq!(
-                lat,
-                spec.latency(q.template, VmTypeId(0)).unwrap()
-            );
+            assert_eq!(lat, spec.latency(q.template, VmTypeId(0)).unwrap());
         }
     }
 

@@ -16,12 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = wisedb::sim::catalog::tpch_like(10);
     println!("Templates:");
     for (i, t) in spec.templates().iter().enumerate() {
-        println!(
-            "  T{:<2} {:<18} {}",
-            i + 1,
-            t.name,
-            t.latencies[0].unwrap()
-        );
+        println!("  T{:<2} {:<18} {}", i + 1, t.name, t.latencies[0].unwrap());
     }
 
     // 2. Performance goal: no query may take longer than 15 minutes, with
@@ -88,9 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.makespan(),
         trace.total_cost(&goal)
     );
-    assert!(trace
-        .total_cost(&goal)
-        .approx_eq(breakdown.total(), 1e-9));
+    assert!(trace.total_cost(&goal).approx_eq(breakdown.total(), 1e-9));
 
     // 7. Peek at the learned strategy itself (Figure 6 style).
     let rendering = model.render_tree();

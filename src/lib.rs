@@ -27,6 +27,23 @@
 //! * [`sim`](wisedb_sim) — the simulated IaaS cloud, workload generators,
 //!   and the TPC-H-like catalog used by the experiments.
 //!
+//! ## Building and running
+//!
+//! The repo is a self-contained Cargo workspace — external dependencies
+//! (`serde`, `serde_json`, `rand`, `proptest`, `criterion`) are vendored as
+//! minimal offline stand-ins under `vendor/`, so a plain toolchain with no
+//! network access suffices:
+//!
+//! ```text
+//! cargo build --release          # all six crates + this facade
+//! cargo test -q                  # tier-1: unit + integration + doc tests
+//! cargo run --release --example quickstart
+//! cargo run --release -p wisedb-bench --bin fig09   # paper figures
+//! cargo bench -p wisedb-bench    # timing benches
+//! ```
+//!
+//! See `tests/README.md` for the test-tier layout.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -61,7 +78,7 @@ pub mod prelude {
     pub use wisedb_advisor::baselines::{self, Heuristic};
     pub use wisedb_advisor::model::{DecisionModel, ModelConfig, ModelGenerator};
     pub use wisedb_advisor::online::{OnlineConfig, OnlineScheduler};
-    pub use wisedb_advisor::strategy::{StrategyRecommender, RecommenderConfig};
+    pub use wisedb_advisor::strategy::{RecommenderConfig, StrategyRecommender};
     pub use wisedb_core::{
         cost_breakdown, total_cost, CostBreakdown, GoalKind, Millis, Money, PenaltyRate,
         PerformanceGoal, Query, QueryId, QueryTemplate, Schedule, TemplateId, VmType, VmTypeId,

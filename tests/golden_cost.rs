@@ -1,0 +1,128 @@
+//! Golden test pinning the Eq. 1 cost model on a small hand-computed
+//! schedule, so future refactors cannot silently shift `total_cost` /
+//! `cost_breakdown`.
+//!
+//! Every expected number below is derived by hand from the paper's pricing
+//! (§7.1): t2.medium at $0.052/hour rental, $0.0008 start-up fee, and a
+//! penalty of one cent per second of SLA violation. If any assertion here
+//! starts failing, the cost model changed semantically — do not loosen the
+//! constants without re-deriving them.
+
+use wisedb::prelude::*;
+use wisedb_core::{cost_breakdown, PenaltyRate, Placement, VmInstance, VmTypeId};
+
+/// T1 = 2 min, T2 = 1 min on a single t2.medium type.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::single_vm(
+        vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+        VmType::t2_medium(),
+    )
+    .unwrap()
+}
+
+fn place(q: u32, t: u32) -> Placement {
+    Placement {
+        query: QueryId(q),
+        template: TemplateId(t),
+    }
+}
+
+/// Two VMs; VM A runs q0 (T1) then q1 (T2), VM B runs q2 (T2).
+///
+/// Hand-computed execution:
+///   VM A: q0 finishes at 2 min, q1 waits 2 min and finishes at 3 min.
+///   VM B: q2 finishes at 1 min.
+/// Busy time: A = 3 min, B = 1 min, total 4 query-minutes.
+fn schedule() -> Schedule {
+    Schedule {
+        vms: vec![
+            VmInstance {
+                vm_type: VmTypeId(0),
+                queue: vec![place(0, 0), place(1, 1)],
+            },
+            VmInstance {
+                vm_type: VmTypeId(0),
+                queue: vec![place(2, 1)],
+            },
+        ],
+    }
+}
+
+const EPS: f64 = 1e-12;
+
+/// Start-up and rental components are goal-independent:
+///   startup = 2 VMs x $0.0008            = $0.0016
+///   runtime = $0.052/h x (4/60) h        = $0.003466666666666667
+const STARTUP: f64 = 2.0 * 0.0008;
+const RUNTIME: f64 = 0.052 * 4.0 / 60.0;
+
+#[test]
+fn golden_per_query_breakdown() {
+    // Deadlines: T1 = 3 min, T2 = 1 min.
+    // q0 (T1): 2 min <= 3 min     -> no violation.
+    // q1 (T2): 3 min vs 1 min     -> 2 min = 120 s over -> $1.20.
+    // q2 (T2): 1 min <= 1 min     -> no violation.
+    let goal = PerformanceGoal::PerQuery {
+        deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
+        rate: PenaltyRate::CENT_PER_SECOND,
+    };
+    let b = cost_breakdown(&spec(), &goal, &schedule()).unwrap();
+    assert!(b.startup.approx_eq(Money::from_dollars(STARTUP), EPS));
+    assert!(b.runtime.approx_eq(Money::from_dollars(RUNTIME), EPS));
+    assert!(b.penalty.approx_eq(Money::from_dollars(1.20), EPS));
+    let expected_total = STARTUP + RUNTIME + 1.20;
+    assert!(b
+        .total()
+        .approx_eq(Money::from_dollars(expected_total), EPS));
+    // total_cost is exactly the breakdown's total.
+    let t = total_cost(&spec(), &goal, &schedule()).unwrap();
+    assert_eq!(t, b.total());
+}
+
+#[test]
+fn golden_max_latency_breakdown() {
+    // One workload-wide 2.5-minute deadline; only q1 (3 min) violates,
+    // by 30 s -> $0.30.
+    let goal = PerformanceGoal::MaxLatency {
+        deadline: Millis::from_secs(150),
+        rate: PenaltyRate::CENT_PER_SECOND,
+    };
+    let b = cost_breakdown(&spec(), &goal, &schedule()).unwrap();
+    assert!(b.startup.approx_eq(Money::from_dollars(STARTUP), EPS));
+    assert!(b.runtime.approx_eq(Money::from_dollars(RUNTIME), EPS));
+    assert!(b.penalty.approx_eq(Money::from_dollars(0.30), EPS));
+    assert!(b
+        .total()
+        .approx_eq(Money::from_dollars(STARTUP + RUNTIME + 0.30), EPS));
+}
+
+#[test]
+fn golden_average_latency_breakdown() {
+    // Mean latency = (2 + 3 + 1) / 3 = 2 min. Target 1.5 min -> the mean is
+    // 30 s over, charged once at the penalty rate:
+    // $0.01/s x 30 s = $0.30.
+    let goal = PerformanceGoal::AverageLatency {
+        target: Millis::from_secs(90),
+        rate: PenaltyRate::CENT_PER_SECOND,
+    };
+    let b = cost_breakdown(&spec(), &goal, &schedule()).unwrap();
+    assert!(b.penalty.approx_eq(Money::from_dollars(0.30), EPS));
+    assert!(b
+        .total()
+        .approx_eq(Money::from_dollars(STARTUP + RUNTIME + 0.30), EPS));
+}
+
+#[test]
+fn golden_zero_penalty_when_goals_met() {
+    // A 3-minute max-latency deadline is met by every query; cost collapses
+    // to the provisioning + rental terms alone.
+    let goal = PerformanceGoal::MaxLatency {
+        deadline: Millis::from_mins(3),
+        rate: PenaltyRate::CENT_PER_SECOND,
+    };
+    let b = cost_breakdown(&spec(), &goal, &schedule()).unwrap();
+    assert_eq!(b.penalty, Money::ZERO);
+    assert!(b
+        .total()
+        .approx_eq(Money::from_dollars(STARTUP + RUNTIME), EPS));
+}

@@ -197,11 +197,7 @@ fn tree_planner_tracks_the_oracle() {
         },
     )
     .unwrap();
-    let c_tree = tree
-        .run(&stream)
-        .unwrap()
-        .total_cost(&spec, &goal)
-        .unwrap();
+    let c_tree = tree.run(&stream).unwrap().total_cost(&spec, &goal).unwrap();
     let c_oracle = oracle
         .run(&stream)
         .unwrap()

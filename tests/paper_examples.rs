@@ -63,7 +63,11 @@ fn section_three_ffd_ffi_and_the_better_strategy() {
 
     assert_eq!(ffd.num_vms(), 3, "SFFD = {{[q1,q2],[q3,q4,q5],[q6]}}");
     assert_eq!(ffi.num_vms(), 3, "SFFI = {{[q5,q6,q3],[q4,q1],[q2]}}");
-    assert_eq!(optimal.schedule.num_vms(), 2, "S' = {{[T1,T2,T3],[T1,T2,T3]}}");
+    assert_eq!(
+        optimal.schedule.num_vms(),
+        2,
+        "S' = {{[T1,T2,T3],[T1,T2,T3]}}"
+    );
 
     let c_ffd = total_cost(&spec, &goal, &ffd).unwrap();
     let c_ffi = total_cost(&spec, &goal, &ffi).unwrap();
@@ -164,7 +168,10 @@ fn unseen_queries_match_nearest_template() {
     .train()
     .unwrap();
     // T1 is 120s, T2 ≈ 146.7s; 130s sits nearer T1.
-    assert_eq!(model.nearest_template(Millis::from_secs(130)), TemplateId(0));
+    assert_eq!(
+        model.nearest_template(Millis::from_secs(130)),
+        TemplateId(0)
+    );
     // Far beyond every template: clamps to the slowest (T10, 360s).
     assert_eq!(
         model.nearest_template(Millis::from_secs(4000)),

@@ -157,8 +157,8 @@ proptest! {
     }
 }
 
-/// Learned models always emit complete schedules on random workloads —
-/// a slower property, checked with fewer cases.
+// Learned models always emit complete schedules on random workloads —
+// a slower property, checked with fewer cases.
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6, .. ProptestConfig::default()

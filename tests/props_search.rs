@@ -34,7 +34,10 @@ fn arb_goal(spec: &WorkloadSpec) -> impl Strategy<Value = PerformanceGoal> {
         (11u64..40).prop_map({
             let latencies = latencies.clone();
             move |f| PerformanceGoal::PerQuery {
-                deadlines: latencies.iter().map(|l| l.mul_f64(f as f64 / 10.0)).collect(),
+                deadlines: latencies
+                    .iter()
+                    .map(|l| l.mul_f64(f as f64 / 10.0))
+                    .collect(),
                 rate: PenaltyRate::CENT_PER_SECOND,
             }
         }),
@@ -59,10 +62,10 @@ fn arb_instance() -> impl Strategy<Value = (WorkloadSpec, PerformanceGoal, Vec<u
     arb_spec().prop_flat_map(|spec| {
         let nt = spec.num_templates();
         let goal = arb_goal(&spec);
-        let counts = proptest::collection::vec(0u32..=3, nt).prop_filter(
-            "at least one query",
-            |c| c.iter().sum::<u32>() > 0 && c.iter().sum::<u32>() <= 6,
-        );
+        let counts = proptest::collection::vec(0u32..=3, nt)
+            .prop_filter("at least one query", |c| {
+                c.iter().sum::<u32>() > 0 && c.iter().sum::<u32>() <= 6
+            });
         (Just(spec), goal, counts)
     })
 }

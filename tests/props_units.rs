@@ -1,0 +1,177 @@
+//! Property-based tests on the foundational unit types — `Money` and
+//! `Millis` arithmetic (saturation, ordering, conversion round-trips) — and
+//! on the `emd_1d` distance used by strategy recommendation.
+
+use proptest::prelude::*;
+
+use wisedb::advisor::emd_1d;
+use wisedb::prelude::{Millis, Money};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 200, .. ProptestConfig::default()
+    })]
+
+    // ----------------------------------------------------------------
+    // Money
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn money_dollar_cent_round_trip(d in -1.0e6f64..1.0e6) {
+        let m = Money::from_dollars(d);
+        prop_assert_eq!(m.as_dollars(), d);
+        // cents <-> dollars is a multiply/divide by 100; exact up to one ulp.
+        prop_assert!(Money::from_cents(m.as_cents()).approx_eq(m, 1e-9));
+    }
+
+    #[test]
+    fn money_add_sub_inverse(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+        let (ma, mb) = (Money::from_dollars(a), Money::from_dollars(b));
+        prop_assert!(((ma + mb) - mb).approx_eq(ma, 1e-6));
+        prop_assert_eq!(ma + mb, mb + ma);
+        prop_assert_eq!(ma - mb, -(mb - ma));
+    }
+
+    #[test]
+    fn money_ordering_matches_dollars(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+        let (ma, mb) = (Money::from_dollars(a), Money::from_dollars(b));
+        prop_assert_eq!(ma.total_cmp(&mb), a.total_cmp(&b));
+        prop_assert_eq!(ma.max(mb).as_dollars(), a.max(b));
+        prop_assert_eq!(ma.min(mb).as_dollars(), a.min(b));
+    }
+
+    #[test]
+    fn money_clamp_saturates_at_zero(a in -1.0e6f64..1.0e6) {
+        let clamped = Money::from_dollars(a).clamp_non_negative();
+        prop_assert!(clamped.as_dollars() >= 0.0);
+        // Idempotent, and the identity on non-negative amounts.
+        prop_assert_eq!(clamped.clamp_non_negative(), clamped);
+        if a >= 0.0 {
+            prop_assert_eq!(clamped.as_dollars(), a);
+        }
+    }
+
+    #[test]
+    fn money_sum_equals_fold(xs in proptest::collection::vec(-1.0e3f64..1.0e3, 0..16)) {
+        let summed: Money = xs.iter().map(|&d| Money::from_dollars(d)).sum();
+        let folded = xs
+            .iter()
+            .fold(Money::ZERO, |acc, &d| acc + Money::from_dollars(d));
+        prop_assert!(summed.approx_eq(folded, 1e-9));
+    }
+
+    #[test]
+    fn money_json_round_trip(d in -1.0e6f64..1.0e6) {
+        let m = Money::from_dollars(d);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Money = serde_json::from_str(&json).unwrap();
+        // Rust prints the shortest f64 representation that re-parses
+        // exactly, so the round-trip is bit-precise, not just approximate.
+        prop_assert_eq!(back, m);
+    }
+
+    // ----------------------------------------------------------------
+    // Millis
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn millis_saturating_sub_clamps(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (ma, mb) = (Millis::from_millis(a), Millis::from_millis(b));
+        prop_assert_eq!(ma.saturating_sub(mb).as_millis(), a.saturating_sub(b));
+        // Never negative, and zero exactly when b dominates.
+        prop_assert_eq!(ma.saturating_sub(mb).is_zero(), a <= b);
+        // Saturated subtraction undoes addition.
+        prop_assert_eq!((ma + mb).saturating_sub(mb), ma);
+    }
+
+    #[test]
+    fn millis_ordering_matches_raw(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (ma, mb) = (Millis::from_millis(a), Millis::from_millis(b));
+        prop_assert_eq!(ma.cmp(&mb), a.cmp(&b));
+        prop_assert_eq!(ma.max(mb).as_millis(), a.max(b));
+        prop_assert_eq!(ma.min(mb).as_millis(), a.min(b));
+    }
+
+    #[test]
+    fn millis_conversion_round_trips(secs in 0u64..1_000_000, ms in 0u64..1_000_000_000) {
+        prop_assert_eq!(Millis::from_secs(secs).as_millis(), secs * 1_000);
+        prop_assert_eq!(Millis::from_mins(secs % 10_000), Millis::from_secs((secs % 10_000) * 60));
+        // f64 seconds round-trip exactly at millisecond resolution for any
+        // duration this codebase works with (well below 2^52 ms).
+        let m = Millis::from_millis(ms);
+        prop_assert_eq!(Millis::from_secs_f64(m.as_secs_f64()), m);
+    }
+
+    #[test]
+    fn millis_mul_f64_is_monotone(ms in 0u64..1_000_000_000, f in 0.0f64..10.0, g in 0.0f64..10.0) {
+        let m = Millis::from_millis(ms);
+        let (lo, hi) = if f <= g { (f, g) } else { (g, f) };
+        prop_assert!(m.mul_f64(lo) <= m.mul_f64(hi));
+        prop_assert_eq!(m.mul_f64(0.0), Millis::ZERO);
+        prop_assert_eq!(m.mul_f64(1.0), m);
+    }
+
+    #[test]
+    fn millis_json_round_trip(ms in 0u64..u64::MAX / 2) {
+        let m = Millis::from_millis(ms);
+        let json = serde_json::to_string(&m).unwrap();
+        prop_assert_eq!(&json, &ms.to_string(), "transparent newtype must serialize as a bare integer");
+        let back: Millis = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    // ----------------------------------------------------------------
+    // emd_1d
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn emd_symmetry_and_identity(
+        a in proptest::collection::vec(0.0f64..10.0, 1..8),
+        b in proptest::collection::vec(0.0f64..10.0, 1..8),
+        scale in 0.1f64..10.0,
+    ) {
+        let b = &b[..a.len().min(b.len())];
+        let a = &a[..b.len()];
+        prop_assert!((emd_1d(a, b) - emd_1d(b, a)).abs() < 1e-9);
+        prop_assert!(emd_1d(a, a) < 1e-12);
+        prop_assert!(emd_1d(a, b) >= 0.0);
+        // Shape-only: profiles are normalized, so uniform scaling is free.
+        let scaled: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        prop_assert!(emd_1d(a, &scaled) < 1e-9);
+    }
+
+    #[test]
+    fn emd_point_masses_measure_displacement(
+        len in 2usize..10,
+        i in 0usize..10,
+        j in 0usize..10,
+        k in 0usize..10,
+    ) {
+        // Distance between unit point masses is exactly their displacement,
+        // so farther displacement is never cheaper (the "triangle-ish"
+        // monotonicity that strategy pruning relies on).
+        let (i, j, k) = (i % len, j % len, k % len);
+        let point = |at: usize| {
+            let mut p = vec![0.0; len];
+            p[at] = 1.0;
+            p
+        };
+        let d_ij = emd_1d(&point(i), &point(j));
+        let d_ik = emd_1d(&point(i), &point(k));
+        prop_assert!((d_ij - (i as f64 - j as f64).abs()).abs() < 1e-12);
+        if j.abs_diff(i) <= k.abs_diff(i) {
+            prop_assert!(d_ij <= d_ik + 1e-12);
+        }
+        // Bounded by the support's diameter.
+        prop_assert!(d_ij <= (len - 1) as f64 + 1e-12);
+    }
+
+    #[test]
+    fn emd_triangle_inequality(
+        a in proptest::collection::vec(0.0f64..10.0, 5),
+        b in proptest::collection::vec(0.0f64..10.0, 5),
+        c in proptest::collection::vec(0.0f64..10.0, 5),
+    ) {
+        prop_assert!(emd_1d(&a, &c) <= emd_1d(&a, &b) + emd_1d(&b, &c) + 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! Vendored, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the group/bencher API surface this workspace's benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_with_input`,
+//! `iter`, `iter_batched`, `criterion_group!` / `criterion_main!`) with a
+//! simple mean-of-samples timer that prints one line per benchmark. No
+//! statistics, plots, or baselines — those need the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units-per-iteration annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps alive at once (ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Accepts either a `BenchmarkId` or a plain name.
+pub struct BenchmarkIdOrName(String);
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrName(id.id)
+    }
+}
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrName(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrName(s)
+    }
+}
+
+/// Passed to benchmark closures; records what one sample took.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh `setup` output each iteration; only the
+    /// routine is on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up pass, then `sample_size` timed samples of one iteration each.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut bencher);
+    let mut total = Duration::ZERO;
+    for _ in 0..sample_size {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        total += bencher.elapsed;
+    }
+    let mean = total / sample_size as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {mean:?}/iter{rate}");
+}
+
+/// Defines a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

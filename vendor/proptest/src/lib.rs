@@ -1,0 +1,504 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait (`prop_map`, `prop_filter`, `prop_flat_map`, `boxed`),
+//! range and tuple strategies, [`Just`], [`collection::vec`],
+//! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` / `prop_assume!`
+//! macros. Differences from the real crate: no shrinking (failures report
+//! the raw counterexample) and a fixed deterministic seed (override with the
+//! `PROPTEST_SEED` environment variable).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; mirrors the real crate's field-struct-update idiom
+/// (`ProptestConfig { cases: 20, ..ProptestConfig::default() }`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Cap on strategy-level rejections per case before giving up.
+    pub max_local_rejects: u32,
+    /// Cap on whole-case rejections (`prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a value or test case was rejected (e.g. a failed `prop_assume!`).
+#[derive(Debug, Clone)]
+pub struct Reject(pub String);
+
+impl From<&str> for Reject {
+    fn from(s: &str) -> Reject {
+        Reject(s.to_owned())
+    }
+}
+
+impl From<String> for Reject {
+    fn from(s: String) -> Reject {
+        Reject(s)
+    }
+}
+
+/// The per-property RNG and bookkeeping handle strategies draw from.
+pub struct TestRunner {
+    rng: StdRng,
+    max_local_rejects: u32,
+}
+
+impl TestRunner {
+    /// Builds a runner. Deterministic unless `PROPTEST_SEED` is set.
+    pub fn new(config: &ProptestConfig) -> TestRunner {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            max_local_rejects: config.max_local_rejects.max(1),
+        }
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// How many strategy-level rejections (e.g. `prop_filter` misses) a
+    /// single draw may absorb before giving up.
+    pub fn max_local_rejects(&self) -> u32 {
+        self.max_local_rejects
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Object-safe core (`new_value`) plus `Sized` combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for [`prop_oneof!`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value, or rejects (caller retries).
+    fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject>;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; rejects after repeated failures.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Builds a dependent strategy from each produced value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
+        (**self).new_value(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<O, Reject> {
+        self.inner.new_value(runner).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<S::Value, Reject> {
+        for _ in 0..runner.max_local_rejects() {
+            let v = self.inner.new_value(runner)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject(format!(
+            "prop_filter exhausted retries: {}",
+            self.whence
+        )))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<S2::Value, Reject> {
+        let seed = self.inner.new_value(runner)?;
+        (self.f)(seed).new_value(runner)
+    }
+}
+
+/// Uniform choice among boxed strategies (the [`prop_oneof!`] backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<T, Reject> {
+        let idx = runner.rng().gen_range(0..self.arms.len());
+        self.arms[idx].new_value(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reject> {
+                Ok(runner.rng().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reject> {
+                Ok(runner.rng().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> Result<f64, Reject> {
+        Ok(runner.rng().gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
+                Ok(($(self.$i.new_value(runner)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Reject, Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Inclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Result<Vec<S::Value>, Reject> {
+            let len = runner.rng().gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.new_value(runner)).collect()
+        }
+    }
+}
+
+/// The glob-imported surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Reject, Strategy, TestRunner, Union,
+    };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Rejects the current case unless `cond` holds (retried, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Reject::from(stringify!($cond)));
+        }
+    };
+}
+
+/// Asserts within a property (fails the test; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __runner = $crate::TestRunner::new(&__config);
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u64 = 0;
+                while __accepted < __config.cases {
+                    if __rejected > __config.max_global_rejects as u64 {
+                        panic!(
+                            "proptest: too many global rejects ({} of {} cases ran)",
+                            __accepted, __config.cases
+                        );
+                    }
+                    let __vals = ( $(
+                        match $crate::Strategy::new_value(&($strat), &mut __runner) {
+                            ::std::result::Result::Ok(v) => v,
+                            ::std::result::Result::Err(_) => {
+                                __rejected += 1;
+                                continue;
+                            }
+                        }
+                    ),* ,);
+                    // Captured up front so a failing case can report the
+                    // exact counterexample (there is no shrinking).
+                    let __repr = ::std::format!("{:?}", __vals);
+                    let ( $($pat),* ,) = __vals;
+                    let __outcome: ::std::result::Result<(), $crate::Reject> =
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })) {
+                            ::std::result::Result::Ok(r) => r,
+                            ::std::result::Result::Err(payload) => {
+                                ::std::eprintln!(
+                                    "proptest: property `{}` failed for inputs {} (case {} of {})",
+                                    stringify!($name), __repr, __accepted + 1, __config.cases
+                                );
+                                ::std::panic::resume_unwind(payload);
+                            }
+                        };
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err(_) => __rejected += 1,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{collection, ProptestConfig, Strategy, TestRunner};
+
+    #[test]
+    fn filter_respects_local_reject_cap() {
+        let cfg = ProptestConfig {
+            max_local_rejects: 3,
+            ..ProptestConfig::default()
+        };
+        let mut runner = TestRunner::new(&cfg);
+        let strat = (0u32..10).prop_filter("impossible", |_| false);
+        assert!(strat.new_value(&mut runner).is_err());
+    }
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut runner = TestRunner::new(&ProptestConfig::default());
+        let strat = collection::vec(0u32..5, 2..=4);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut runner).unwrap();
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut runner = TestRunner::new(&ProptestConfig::default());
+        let strat = crate::prop_oneof![0u32..1, 10u32..11];
+        let mut seen = [false, false];
+        for _ in 0..200 {
+            match strat.new_value(&mut runner).unwrap() {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                other => panic!("unexpected draw {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Vendored, offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! Provides exactly what this workspace uses: [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64), [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! extension trait with `gen_range` / `gen_bool`, and
+//! [`distributions::Distribution`]. Deterministic for a given seed, which is
+//! what the experiments and tests rely on; it makes no cryptographic claims.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (`p` clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample from `dist`.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 uniform bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce one uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one sample; panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64());
+        let x = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; stay half-open.
+        if x >= self.end {
+            self.start
+                .max(self.end - (self.end - self.start) * f64::EPSILON)
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (self.start as f64..self.end as f64).sample_single(rng) as f32
+    }
+}
+
+/// Distribution traits (`rand::distributions`).
+pub mod distributions {
+    use crate::Rng;
+
+    /// Types that produce samples of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample from the distribution.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// Concrete RNGs (`rand::rngs`).
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// The standard RNG: xoshiro256++, state seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(0..7);
+            assert!(x < 7);
+            let y: u32 = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&y));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits={hits}");
+    }
+}

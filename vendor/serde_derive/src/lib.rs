@@ -1,0 +1,527 @@
+//! Vendored, offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (the real crate's `syn`/`quote` dependencies are
+//! unavailable offline). Supports exactly the shapes this workspace uses:
+//!
+//! * named-field structs, tuple structs, unit structs (no generics);
+//! * enums with unit, tuple, and struct variants, externally tagged;
+//! * `#[serde(transparent)]` on newtype structs (single-field tuple structs
+//!   get newtype semantics regardless, matching serde);
+//! * `#[serde(skip)]` and `#[serde(default)]` on named fields.
+//!
+//! Anything else panics at compile time with a clear message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Serde attributes found while skipping `#[...]` groups.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    transparent: bool,
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`, collecting any
+/// `#[serde(...)]` flags.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(g) = &tokens[*pos + 1] else {
+                    panic!("serde_derive: `#` not followed by an attribute group");
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" | "skip_serializing" => attrs.skip = true,
+                                        "default" => attrs.default = true,
+                                        "transparent" => attrs.transparent = true,
+                                        other => panic!(
+                                            "serde_derive: unsupported serde attribute `{other}` \
+                                             (vendored stub supports transparent/skip/default)"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn eat_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant parenthesized group by
+/// counting top-level commas (angle-bracket depth tracked for generic types).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut trailing_comma = false;
+    let mut prev_minus = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                // The '>' of a '->' (fn-pointer return type) is not an
+                // angle-bracket close.
+                '>' if !prev_minus => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                    prev_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = eat_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        eat_vis(&tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[pos]);
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle depth 0. The
+        // '>' of a '->' (fn-pointer return type) is not an angle close.
+        let mut depth = 0i32;
+        let mut prev_minus = false;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_minus => depth -= 1,
+                    ',' if depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                prev_minus = p.as_char() == '-';
+            } else {
+                prev_minus = false;
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!("serde_derive: expected variant name, got {:?}", tokens[pos]);
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip discriminant (`= expr`) if present, then the separating comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container_attrs = eat_attrs(&tokens, &mut pos);
+    eat_vis(&tokens, &mut pos);
+
+    let TokenTree::Ident(kw) = &tokens[pos] else {
+        panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            tokens[pos]
+        );
+    };
+    let kw = kw.to_string();
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("serde_derive: expected type name, got {:?}", tokens[pos]);
+    };
+    let name = name.to_string();
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: vendored stub does not support generic type `{name}`");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body {other:?}"),
+            };
+            // `transparent` only changes behaviour for newtype structs, and
+            // single-field tuple structs already get newtype semantics.
+            let _ = container_attrs.transparent;
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(pos) else {
+                panic!("serde_derive: expected enum body");
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(g),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(
+                        "        let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        out.push_str(&format!(
+                            "        obj.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("        ::serde::Value::Object(obj)\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    out.push_str(&format!(
+                        "        ::serde::Value::Array(::std::vec![{}])\n",
+                        items.join(", ")
+                    ));
+                }
+                Fields::Unit => out.push_str("        ::serde::Value::Null\n"),
+            }
+            out.push_str("    }\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut body = String::from(
+                            "{ let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new(); ",
+                        );
+                        for f in fs.iter().filter(|f| !f.skip) {
+                            body.push_str(&format!(
+                                "obj.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))); ",
+                                f.name
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(obj))]) }}"
+                        ));
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => {body},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+/// Expression deserializing named field `f` from object value expr `src`.
+fn named_field_expr(f: &Field, src: &str, container: &str) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}` in {container}\"))",
+            f.name
+        )
+    };
+    format!(
+        "match {src}.get(\"{0}\") {{ ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, ::std::option::Option::None => {missing} }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "        if v.as_object().is_none() {{ return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")); }}\n"
+                    ));
+                    out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+                    for f in fs {
+                        out.push_str(&format!(
+                            "            {}: {},\n",
+                            f.name,
+                            named_field_expr(f, "v", name)
+                        ));
+                    }
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n        if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n"
+                    ));
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "        ::std::result::Result::Ok({name}({}))\n",
+                        items.join(", ")
+                    ));
+                }
+                Fields::Unit => {
+                    out.push_str(&format!("        ::std::result::Result::Ok({name})\n"));
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("        if let ::std::option::Option::Some(s) = v.as_str() {\n            return match s {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "                \"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other}}\"))),\n            }};\n        }}\n"
+            ));
+            // Data variants arrive as single-key objects.
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "        if let ::std::option::Option::Some(x) = v.get(\"{vn}\") {{\n            return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(x)?));\n        }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "        if let ::std::option::Option::Some(x) = v.get(\"{vn}\") {{\n            let arr = x.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n            if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}::{vn}\")); }}\n            return ::std::result::Result::Ok({name}::{vn}({}));\n        }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut body = String::new();
+                        for f in fs {
+                            body.push_str(&format!(
+                                "                {}: {},\n",
+                                f.name,
+                                named_field_expr(f, "x", &format!("{name}::{vn}"))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "        if let ::std::option::Option::Some(x) = v.get(\"{vn}\") {{\n            return ::std::result::Result::Ok({name}::{vn} {{\n{body}            }});\n        }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "        ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"cannot deserialize {name} from {{v:?}}\")))\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
