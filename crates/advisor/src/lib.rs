@@ -30,7 +30,8 @@ pub use batch::{schedule_batch, BatchPlan, StepSource};
 pub use emd::emd_1d;
 pub use model::{DecisionModel, ModelConfig, ModelGenerator, TrainingArtifacts, TrainingStats};
 pub use online::{
-    ArrivingQuery, OnlineConfig, OnlineOutcome, OnlineReport, OnlineScheduler, Planner,
+    ArrivalPlan, ArrivingQuery, ClusterView, OnlineConfig, OnlineOutcome, OnlineReport,
+    OnlineScheduler, OpenVmView, PendingArrival, PlannedStep, Planner,
 };
 pub use strategy::{
     attribute_costs, CostEstimator, RecommenderConfig, Strategy, StrategyRecommender,

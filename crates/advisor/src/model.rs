@@ -33,6 +33,13 @@ pub struct ModelConfig {
     /// A* limits for the per-sample optimal searches.
     #[serde(skip, default)]
     pub search: SearchConfig,
+    /// Worker threads for the per-sample A* solves, which are
+    /// embarrassingly parallel. `0` means one per available CPU core; `1`
+    /// forces the serial path. Results are merged in sample order, so the
+    /// trained model is **bit-identical** across thread counts for a fixed
+    /// seed (asserted by tests).
+    #[serde(skip, default)]
+    pub threads: usize,
 }
 
 impl ModelConfig {
@@ -44,6 +51,7 @@ impl ModelConfig {
             seed: 0x5EED_0001,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            threads: 0,
         }
     }
 
@@ -57,12 +65,20 @@ impl ModelConfig {
             seed: 0x5EED_0002,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            threads: 0,
         }
     }
 
     /// Overrides the sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the solver worker-pool size (see
+    /// [`threads`](ModelConfig::threads)).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -187,7 +203,10 @@ impl DecisionModel {
 }
 
 /// Everything kept from training that adaptive re-training (§5) can reuse:
-/// the sample workloads and each one's adaptive searcher.
+/// the sample workloads and each one's adaptive searcher. Cloning copies
+/// the warmed search memos, so independent consumers (e.g. several online
+/// schedulers over one base model) can each keep adapting cheaply.
+#[derive(Clone)]
 pub struct TrainingArtifacts {
     /// The sampled training workloads.
     pub samples: Vec<Workload>,
@@ -240,14 +259,7 @@ impl ModelGenerator {
             .map(|_| AdaptiveSearcher::new())
             .collect();
         let start = Instant::now();
-        let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(samples.len());
-        let mut expanded = 0u64;
-        for (workload, searcher) in samples.iter().zip(searchers.iter_mut()) {
-            let solved =
-                searcher.solve(&self.spec, &self.goal, workload, self.config.search.clone())?;
-            expanded += solved.stats.expanded;
-            paths.push(solved);
-        }
+        let (paths, expanded) = self.solve_samples(&self.goal, &samples, &mut searchers)?;
         let model = self.fit_tree(&paths, expanded, start);
         Ok((model, TrainingArtifacts { samples, searchers }))
     }
@@ -262,19 +274,81 @@ impl ModelGenerator {
     ) -> CoreResult<DecisionModel> {
         goal.validate_against(&self.spec)?;
         let start = Instant::now();
-        let mut paths: Vec<OptimalSchedule> = Vec::with_capacity(artifacts.samples.len());
-        let mut expanded = 0u64;
-        for (workload, searcher) in artifacts.samples.iter().zip(artifacts.searchers.iter_mut()) {
-            let solved = searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
-            expanded += solved.stats.expanded;
-            paths.push(solved);
-        }
+        let (paths, expanded) =
+            self.solve_samples(goal, &artifacts.samples, &mut artifacts.searchers)?;
         let generator = ModelGenerator {
             spec: self.spec.clone(),
             goal: goal.clone(),
             config: self.config.clone(),
         };
         Ok(generator.fit_tree(&paths, expanded, start))
+    }
+
+    /// Solves every sample workload optimally, fanning the independent
+    /// per-sample searches across [`ModelConfig::threads`] workers.
+    ///
+    /// Each worker owns a contiguous chunk of (workload, searcher) pairs
+    /// and results are merged back in sample order, so the output — paths,
+    /// expansion counts, and updated searcher memos — is identical to the
+    /// serial loop's regardless of thread count or scheduling.
+    fn solve_samples(
+        &self,
+        goal: &PerformanceGoal,
+        samples: &[Workload],
+        searchers: &mut [AdaptiveSearcher],
+    ) -> CoreResult<(Vec<OptimalSchedule>, u64)> {
+        let requested = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let threads = requested.clamp(1, samples.len().max(1));
+
+        let solve_chunk = |ws: &[Workload],
+                           ss: &mut [AdaptiveSearcher]|
+         -> CoreResult<(Vec<OptimalSchedule>, u64)> {
+            let mut paths = Vec::with_capacity(ws.len());
+            let mut expanded = 0u64;
+            for (workload, searcher) in ws.iter().zip(ss.iter_mut()) {
+                let solved =
+                    searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
+                expanded += solved.stats.expanded;
+                paths.push(solved);
+            }
+            Ok((paths, expanded))
+        };
+
+        if threads == 1 {
+            return solve_chunk(samples, searchers);
+        }
+
+        let chunk = samples.len().div_ceil(threads);
+        let results: Vec<CoreResult<(Vec<OptimalSchedule>, u64)>> = std::thread::scope(|scope| {
+            let solve_chunk = &solve_chunk;
+            let handles: Vec<_> = samples
+                .chunks(chunk)
+                .zip(searchers.chunks_mut(chunk))
+                .map(|(ws, ss)| scope.spawn(move || solve_chunk(ws, ss)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // Surface the worker's own panic, not a stand-in.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut paths = Vec::with_capacity(samples.len());
+        let mut expanded = 0u64;
+        for result in results {
+            let (p, e) = result?;
+            paths.extend(p);
+            expanded += e;
+        }
+        Ok((paths, expanded))
     }
 
     fn fit_tree(
@@ -329,6 +403,7 @@ mod tests {
             seed: 7,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            threads: 0,
         }
     }
 
@@ -373,6 +448,36 @@ mod tests {
             assert!(
                 cost.as_dollars() <= optimal.as_dollars() * 1.30 + 1e-9,
                 "{kind:?}: model {cost} vs optimal {optimal}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_serial() {
+        let spec = small_spec();
+        for kind in [GoalKind::MaxLatency, GoalKind::AverageLatency] {
+            let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+            let serial =
+                ModelGenerator::new(spec.clone(), goal.clone(), tiny_config().with_threads(1))
+                    .train()
+                    .unwrap();
+            let parallel =
+                ModelGenerator::new(spec.clone(), goal.clone(), tiny_config().with_threads(4))
+                    .train()
+                    .unwrap();
+            // The tree, schema, and search work are identical bit for bit;
+            // only wall-clock timing may differ.
+            assert_eq!(serial.render_tree(), parallel.render_tree(), "{kind:?}");
+            assert_eq!(serial.schema(), parallel.schema());
+            assert_eq!(
+                serial.stats().search_expanded,
+                parallel.stats().search_expanded
+            );
+            assert_eq!(serial.stats().num_rows, parallel.stats().num_rows);
+            let w = Workload::from_counts(&[4, 3, 2]);
+            assert_eq!(
+                serial.schedule_batch(&w).unwrap(),
+                parallel.schedule_batch(&w).unwrap()
             );
         }
     }

@@ -80,14 +80,7 @@ impl Default for OnlineConfig {
     }
 }
 
-/// One query of an online stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ArrivingQuery {
-    /// The query's template.
-    pub template: TemplateId,
-    /// When it arrives (monotonically non-decreasing across the stream).
-    pub arrival: Millis,
-}
+pub use wisedb_core::ArrivingQuery;
 
 /// Where and when one query ended up running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -180,12 +173,57 @@ struct OnlineVm {
     released: bool,
 }
 
-/// An unstarted query awaiting (re)scheduling.
-#[derive(Debug, Clone, Copy)]
-struct PendingQuery {
-    id: QueryId,
-    template: TemplateId,
-    arrival: Millis,
+/// An unstarted query awaiting (re)scheduling: the new arrival plus every
+/// recalled tentative query form one batch (§6.3's augmented workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingArrival {
+    /// Stream-assigned query id.
+    pub id: QueryId,
+    /// Base template (never an aged alias).
+    pub template: TemplateId,
+    /// Original arrival time.
+    pub arrival: Millis,
+}
+
+pub use wisedb_core::OpenVmView;
+
+/// What the planner needs to know about the cluster at scheduling time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterView {
+    /// VMs rented so far (provisioning order count, including released).
+    pub vms_rented: u32,
+    /// The open VM, if one can still accept work.
+    pub open_vm: Option<OpenVmView>,
+}
+
+/// One step of a batch plan. Steps apply **in order**: assignments target
+/// the open VM until the first [`PlannedStep::Provision`], then the most
+/// recently provisioned VM (the scheduling graph's "last VM" semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedStep {
+    /// Rent a new VM of this type; it becomes the assignment target.
+    Provision(VmTypeId),
+    /// Queue this pending query on the current target VM.
+    Assign {
+        /// The query being placed.
+        query: QueryId,
+        /// Its base template.
+        template: TemplateId,
+    },
+}
+
+/// A planned batch plus what producing it cost the model machinery.
+#[derive(Debug, Clone)]
+pub struct ArrivalPlan {
+    /// Provision/assign steps, in application order.
+    pub steps: Vec<PlannedStep>,
+    /// A full model retraining happened (the Figure 19 "None" arm, or an
+    /// aged batch missing the Reuse cache).
+    pub retrained: bool,
+    /// A cached model (Reuse or Shift) served the batch.
+    pub cache_hit: bool,
+    /// A new Shift-derived model was built via adaptive retraining.
+    pub shifted: bool,
 }
 
 /// The online scheduler: owns the base model, the ω-keyed model cache, and
@@ -270,14 +308,14 @@ impl OnlineScheduler {
             advance_to(&mut vms, now, &self.spec, &mut outcomes, &arrival_times);
 
             // Collect the batch: the new query plus everything unstarted.
-            let mut batch: Vec<PendingQuery> = vec![PendingQuery {
+            let mut batch: Vec<PendingArrival> = vec![PendingArrival {
                 id: QueryId(i as u32),
                 template: arriving.template,
                 arrival: now,
             }];
             for vm in vms.iter_mut() {
                 for (qid, template, _) in vm.tentative.drain(..) {
-                    batch.push(PendingQuery {
+                    batch.push(PendingArrival {
                         id: qid,
                         template,
                         arrival: stream[qid.index()].arrival,
@@ -312,11 +350,59 @@ impl OnlineScheduler {
         &mut self,
         vms: &mut Vec<OnlineVm>,
         report: &mut OnlineReport,
-        batch: &[PendingQuery],
+        batch: &[PendingArrival],
         now: Millis,
     ) -> CoreResult<()> {
+        let view = ClusterView {
+            vms_rented: vms.len() as u32,
+            open_vm: vms.last().filter(|vm| !vm.released).map(|vm| OpenVmView {
+                vm_type: vm.vm_type,
+                running: vm.running.iter().map(|&(t, _)| t).collect(),
+                backlog: vm.avail.saturating_sub(now),
+            }),
+        };
+        let plan = self.plan_arrivals(&view, batch, now)?;
+        report.retrains += plan.retrained as usize;
+        report.cache_hits += plan.cache_hit as usize;
+        report.shifts += plan.shifted as usize;
+        for step in plan.steps {
+            match step {
+                PlannedStep::Provision(v) => {
+                    vms.push(OnlineVm {
+                        vm_type: v,
+                        avail: now,
+                        running: Vec::new(),
+                        tentative: Vec::new(),
+                        released: false,
+                    });
+                }
+                PlannedStep::Assign { query, template } => {
+                    let vm = vms
+                        .last_mut()
+                        .expect("plans rent before placing when no VM is open");
+                    vm.tentative.push((query, template, now));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Plans one online batch against an externally owned cluster (§6.3):
+    /// the incremental entry point the streaming runtime drives.
+    ///
+    /// `batch` is the new arrival plus every recalled unstarted query;
+    /// `view` describes the cluster at `now` (the open VM seeds the initial
+    /// search vertex). The returned steps apply in order — see
+    /// [`PlannedStep`]. Model selection (Reuse/Shift caches, aged-template
+    /// augmentation, full retrains) is identical to [`run`](Self::run)'s.
+    pub fn plan_arrivals(
+        &mut self,
+        view: &ClusterView,
+        batch: &[PendingArrival],
+        now: Millis,
+    ) -> CoreResult<ArrivalPlan> {
         let quantum = self.config.age_quantum.as_millis().max(1);
-        let bucket_of = |q: &PendingQuery| {
+        let bucket_of = |q: &PendingArrival| {
             let age = now.saturating_sub(q.arrival).as_millis();
             (age + quantum / 2) / quantum
         };
@@ -325,6 +411,7 @@ impl OnlineScheduler {
         let shiftable = self.goal.is_linearly_shiftable();
         #[allow(unused_assignments)] // only the aged no-reuse arm assigns it
         let mut owned_model: Option<DecisionModel> = None;
+        let (mut retrained, mut cache_hit, mut shifted) = (false, false, false);
 
         // -- Choose the scheduling view: (spec, goal, model, template map) --
         enum View<'m> {
@@ -339,7 +426,7 @@ impl OnlineScheduler {
             },
         }
 
-        let view = if all_fresh {
+        let model_view = if all_fresh {
             View::Base(&self.base)
         } else if self.config.shift && shiftable && self.config.planner == Planner::Model {
             let shift = Millis::from_millis(max_bucket * quantum);
@@ -352,9 +439,9 @@ impl OnlineScheduler {
                     .generator
                     .retrain_tightened(&shifted_goal, &mut self.artifacts)?;
                 self.shift_cache.insert(max_bucket, model);
-                report.shifts += 1;
+                shifted = true;
             } else {
-                report.cache_hits += 1;
+                cache_hit = true;
             }
             View::Shifted(&self.shift_cache[&max_bucket])
         } else {
@@ -370,7 +457,7 @@ impl OnlineScheduler {
             let use_cache = self.config.reuse && self.config.planner == Planner::Model;
             let model_ref: &DecisionModel = if use_cache {
                 if self.reuse_cache.contains_key(&signature) {
-                    report.cache_hits += 1;
+                    cache_hit = true;
                 } else {
                     let generator = ModelGenerator::new(
                         aug_spec.clone(),
@@ -378,7 +465,7 @@ impl OnlineScheduler {
                         self.config.training.clone(),
                     );
                     let model = generator.train()?;
-                    report.retrains += 1;
+                    retrained = true;
                     self.reuse_cache.insert(signature.clone(), model);
                 }
                 &self.reuse_cache[&signature]
@@ -390,7 +477,7 @@ impl OnlineScheduler {
                     aug_goal.clone(),
                     self.config.training.clone(),
                 );
-                report.retrains += 1;
+                retrained = true;
                 owned_model = Some(generator.train()?);
                 owned_model.as_ref().expect("just assigned")
             };
@@ -403,7 +490,7 @@ impl OnlineScheduler {
         };
 
         let (sched_spec, sched_goal, model): (&WorkloadSpec, &PerformanceGoal, &DecisionModel) =
-            match &view {
+            match &model_view {
                 View::Base(m) => (&self.spec, &self.goal, m),
                 View::Shifted(m) => (&self.spec, m.goal(), m),
                 View::Aged {
@@ -412,8 +499,8 @@ impl OnlineScheduler {
             };
 
         // Map each batch query to its scheduling-template id.
-        let sched_template = |q: &PendingQuery| -> TemplateId {
-            match &view {
+        let sched_template = |q: &PendingArrival| -> TemplateId {
+            match &model_view {
                 View::Base(_) | View::Shifted(_) => q.template,
                 View::Aged { map, .. } => {
                     let bucket = bucket_of(q);
@@ -428,11 +515,11 @@ impl OnlineScheduler {
 
         // -- Build the initial vertex: counts + the open VM (if any). --
         let mut counts = vec![0u16; sched_spec.num_templates()];
-        let mut by_template: HashMap<TemplateId, Vec<PendingQuery>> = HashMap::new();
+        let mut by_template: HashMap<TemplateId, Vec<PendingArrival>> = HashMap::new();
         for q in batch {
             let st = sched_template(q);
             counts[st.index()] += 1;
-            by_template.entry(st).or_default().push(q.clone());
+            by_template.entry(st).or_default().push(*q);
         }
         // FIFO by arrival within a template.
         for queue in by_template.values_mut() {
@@ -441,16 +528,13 @@ impl OnlineScheduler {
         }
 
         let mut state = SearchState::initial(counts, sched_goal);
-        let open_vm = vms.last().filter(|vm| !vm.released).map(|vm| {
-            LastVm::seeded(
-                vm.vm_type,
-                vm.running.iter().map(|&(t, _)| t).collect(),
-                vm.avail.saturating_sub(now),
-            )
-        });
-        if let Some(last) = open_vm {
-            state.last_vm = Some(last);
-            state.vms_rented = vms.len() as u32;
+        if let Some(open) = &view.open_vm {
+            state.last_vm = Some(LastVm::seeded(
+                open.vm_type,
+                open.running.clone(),
+                open.backlog,
+            ));
+            state.vms_rented = view.vms_rented;
         }
 
         // -- Plan. --
@@ -470,31 +554,29 @@ impl OnlineScheduler {
             }
         };
 
-        // -- Apply: record tentative assignments. --
-        for d in decisions {
-            match d {
-                Decision::CreateVm(v) => {
-                    vms.push(OnlineVm {
-                        vm_type: v,
-                        avail: now,
-                        running: Vec::new(),
-                        tentative: Vec::new(),
-                        released: false,
-                    });
-                }
+        // -- Resolve decisions to concrete (query, VM) steps. --
+        let steps = decisions
+            .into_iter()
+            .map(|d| match d {
+                Decision::CreateVm(v) => PlannedStep::Provision(v),
                 Decision::Place(st) => {
                     let q = by_template
                         .get_mut(&st)
                         .and_then(|v| v.pop())
                         .expect("plan places exactly the batch's queries");
-                    let vm = vms
-                        .last_mut()
-                        .expect("plans rent before placing when no VM is open");
-                    vm.tentative.push((q.id, q.template, now));
+                    PlannedStep::Assign {
+                        query: q.id,
+                        template: q.template,
+                    }
                 }
-            }
-        }
-        Ok(())
+            })
+            .collect();
+        Ok(ArrivalPlan {
+            steps,
+            retrained,
+            cache_hit,
+            shifted,
+        })
     }
 
     /// Builds the augmented spec/goal for a batch with waited queries:
@@ -504,7 +586,7 @@ impl OnlineScheduler {
     /// template's deadline; other goals are template-free.
     fn augment(
         &self,
-        batch: &[PendingQuery],
+        batch: &[PendingArrival],
         now: Millis,
         quantum: u64,
     ) -> CoreResult<(

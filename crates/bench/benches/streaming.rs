@@ -1,0 +1,139 @@
+//! Criterion benches for the streaming runtime: event-loop throughput
+//! (arrivals scheduled per second of wall clock) as the arrival rate and
+//! the planner vary. Training happens outside the timed region.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use wisedb::advisor::{ModelGenerator, OnlineConfig, OnlineScheduler, TrainingArtifacts};
+use wisedb::prelude::*;
+use wisedb_runtime::generate_stream;
+
+const STREAM_LEN: usize = 200;
+
+fn bench_training() -> ModelConfig {
+    ModelConfig {
+        num_samples: 60,
+        sample_size: 9,
+        seed: 0xC0FFEE,
+        ..ModelConfig::fast()
+    }
+}
+
+fn streaming_throughput(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let (model, artifacts) = ModelGenerator::new(spec.clone(), goal, bench_training())
+        .train_with_artifacts()
+        .unwrap();
+
+    let mut group = c.benchmark_group("streaming/throughput");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for &rate in &[0.5f64, 2.0, 8.0] {
+        let mut process =
+            PoissonProcess::per_second(rate, TemplateMix::uniform(spec.num_templates()));
+        let stream = generate_stream(&mut process, STREAM_LEN, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &stream, |b, stream| {
+            b.iter_batched(
+                || {
+                    let online = OnlineConfig {
+                        training: bench_training(),
+                        age_quantum: Millis::from_secs(30),
+                        ..OnlineConfig::default()
+                    };
+                    let scheduler =
+                        OnlineScheduler::with_model(model.clone(), artifacts.clone(), online);
+                    WorkloadService::with_scheduler(scheduler, RuntimeConfig::default())
+                },
+                |mut svc| svc.run_stream(stream).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn streaming_vs_goal(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    // A brisk rate keeps batches mostly fresh: non-monotone goals stack
+    // queries on the open VM at slow rates, which blows up the aged-path
+    // retrains and the guard search far beyond bench scale.
+    let mut process = PoissonProcess::per_second(4.0, TemplateMix::uniform(spec.num_templates()));
+    let stream = generate_stream(&mut process, STREAM_LEN, 7);
+
+    let mut group = c.benchmark_group("streaming/goal");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        let (model, artifacts) = ModelGenerator::new(spec.clone(), goal, bench_training())
+            .train_with_artifacts()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &stream,
+            |b, stream| {
+                b.iter_batched(
+                    || {
+                        let online = OnlineConfig {
+                            training: bench_training(),
+                            age_quantum: Millis::from_secs(30),
+                            ..OnlineConfig::default()
+                        };
+                        let scheduler =
+                            OnlineScheduler::with_model(model.clone(), artifacts.clone(), online);
+                        WorkloadService::with_scheduler(scheduler, RuntimeConfig::default())
+                    },
+                    |mut svc| svc.run_stream(stream).unwrap(),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn parallel_training(c: &mut Criterion) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    // Enough per-sample A* work for the worker pool to matter: at the tiny
+    // 60-sample config the serial tree induction dominates the profile.
+    let training = ModelConfig {
+        num_samples: 400,
+        sample_size: 12,
+        seed: 0xC0FFEE,
+        ..ModelConfig::fast()
+    };
+    let mut group = c.benchmark_group("streaming/train_threads");
+    group.sample_size(5);
+    for &threads in &[1usize, 2, 4, 0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if threads == 0 {
+                "auto".to_string()
+            } else {
+                threads.to_string()
+            }),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ModelGenerator::new(
+                        spec.clone(),
+                        goal.clone(),
+                        training.clone().with_threads(threads),
+                    )
+                    .train()
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    streaming_throughput,
+    streaming_vs_goal,
+    parallel_training
+);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! The benchmark harness that regenerates every data-bearing figure of the
 //! WiSeDB evaluation (§7, Figures 9–22). One report binary per figure
 //! (`cargo run -p wisedb-bench --release --bin figNN`), plus Criterion
-//! benches for the timing-centric figures.
+//! benches for the timing-centric figures, plus the `streaming` binary and
+//! bench that sweep the online runtime's arrival rate to saturation.
 //!
 //! Scale is controlled by the `WISEDB_SCALE` environment variable:
 //!

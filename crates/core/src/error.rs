@@ -70,6 +70,18 @@ pub enum CoreError {
         /// Number of templates in the spec.
         expected: usize,
     },
+    /// A live-cluster operation referenced a VM index that was never
+    /// provisioned in the session.
+    UnknownVmIndex {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// Work was queued on a VM that was already released (idle VMs are
+    /// released automatically and accept no further work).
+    VmReleased {
+        /// The released VM's index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -113,6 +125,12 @@ impl fmt::Display for CoreError {
                 f,
                 "per-query goal has {got} deadlines but the spec has {expected} templates"
             ),
+            CoreError::UnknownVmIndex { index } => {
+                write!(f, "no VM with index {index} was provisioned")
+            }
+            CoreError::VmReleased { index } => {
+                write!(f, "VM {index} was already released and accepts no work")
+            }
         }
     }
 }

@@ -18,6 +18,8 @@
 //! * [`PerformanceGoal`] — the four SLA classes (per-query, max, average,
 //!   percentile) with violation-period penalty semantics (§3).
 //! * [`cost::total_cost`] — Equation 1, the quantity everything minimizes.
+//! * [`ArrivingQuery`] / [`MetricsSnapshot`] — online arrivals (§6.3) and
+//!   the live health metrics of the streaming runtime.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +30,7 @@ pub mod goal;
 pub mod money;
 pub mod schedule;
 pub mod spec;
+pub mod stream;
 pub mod template;
 pub mod time;
 pub mod vm;
@@ -39,6 +42,7 @@ pub use goal::{GoalKind, PenaltyDigest, PenaltyTracker, PerformanceGoal};
 pub use money::{Money, PenaltyRate};
 pub use schedule::{Placement, QueryLatency, Schedule, VmInstance};
 pub use spec::WorkloadSpec;
+pub use stream::{percentile_sorted, ArrivingQuery, LatencySummary, MetricsSnapshot, OpenVmView};
 pub use template::{QueryTemplate, TemplateId};
 pub use time::Millis;
 pub use vm::{VmType, VmTypeId};

@@ -1,0 +1,256 @@
+//! Streaming vocabulary: arrivals and live service metrics.
+//!
+//! Batch scheduling speaks [`Workload`](crate::Workload); the online side
+//! (§6.3) and the streaming runtime speak *arrivals* — template instances
+//! tagged with the virtual time they entered the system — and report their
+//! health through [`MetricsSnapshot`]s: latency percentiles, SLA-violation
+//! rate, spend rate, and fleet size at a point in virtual time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::goal::PerformanceGoal;
+use crate::money::Money;
+use crate::template::TemplateId;
+use crate::time::Millis;
+
+/// One query of an online stream: a template instance plus its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivingQuery {
+    /// The query's template.
+    pub template: TemplateId,
+    /// When it arrives (monotonically non-decreasing across the stream).
+    pub arrival: Millis,
+}
+
+/// The open (most recently provisioned, still accepting work) VM as the
+/// online planner sees it: the paper's Figure 8 initial vertex. Shared
+/// vocabulary between the cluster that reports it and the scheduler that
+/// seeds its search with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenVmView {
+    /// The VM's type.
+    pub vm_type: crate::vm::VmTypeId,
+    /// Templates of queries currently committed (executing) on it.
+    pub running: Vec<TemplateId>,
+    /// How long a newly placed query would wait behind committed work.
+    pub backlog: Millis,
+}
+
+/// Nearest-rank percentile of a set of durations. `p` is in (0, 100];
+/// an empty slice yields zero. `sorted` must be ascending.
+pub fn percentile_sorted(sorted: &[Millis], p: f64) -> Millis {
+    if sorted.is_empty() {
+        return Millis::ZERO;
+    }
+    let n = sorted.len();
+    let k = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[k.clamp(1, n) - 1]
+}
+
+/// Order statistics of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Population size.
+    pub count: u64,
+    /// Median.
+    pub p50: Millis,
+    /// 95th percentile.
+    pub p95: Millis,
+    /// 99th percentile.
+    pub p99: Millis,
+    /// Maximum.
+    pub max: Millis,
+    /// Arithmetic mean.
+    pub mean: Millis,
+}
+
+impl LatencySummary {
+    /// Summarizes a population (need not be sorted; empty is all-zero).
+    pub fn of(latencies: &[Millis]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let sum: Millis = sorted.iter().copied().sum();
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+            mean: sum / sorted.len() as u64,
+        }
+    }
+}
+
+/// A point-in-virtual-time health report of a streaming workload service.
+///
+/// Latency fields measure *SLA latency* (completion − arrival); queueing
+/// fields measure time spent waiting before execution started. Decision
+/// latency is scheduler wall-clock time per arrival (real seconds, not
+/// virtual time) — the Figure 19 metric, live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Virtual time of the snapshot.
+    pub at: Millis,
+    /// Arrivals admitted so far.
+    pub admitted: u64,
+    /// Arrivals rejected by admission control.
+    pub rejected: u64,
+    /// Queries that finished executing.
+    pub completed: u64,
+    /// Admitted queries not yet finished.
+    pub in_flight: u64,
+    /// SLA latency (completion − arrival) order statistics over completions.
+    pub latency: LatencySummary,
+    /// Queueing delay (start − arrival) order statistics over completions.
+    pub queueing: LatencySummary,
+    /// Completed queries whose SLA latency exceeded the goal's per-query
+    /// bound (see [`PerformanceGoal::per_query_bound`]).
+    pub sla_violations: u64,
+    /// `sla_violations / completed` (zero when nothing completed).
+    pub violation_rate: f64,
+    /// Infrastructure money billed so far (start-up fees + rental).
+    pub billed: Money,
+    /// SLA penalty accrued by completions so far.
+    pub penalty: Money,
+    /// `(billed + penalty) / virtual hours elapsed` (zero at t=0).
+    pub dollars_per_hour: f64,
+    /// VMs provisioned and not yet released.
+    pub vms_in_flight: u64,
+    /// VMs ever provisioned.
+    pub vms_provisioned: u64,
+    /// Mean scheduler wall-clock overhead per arrival, in (real) seconds.
+    pub mean_decision_secs: f64,
+    /// 95th-percentile scheduler overhead per arrival, in (real) seconds.
+    pub p95_decision_secs: f64,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot at virtual time zero.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            at: Millis::ZERO,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            in_flight: 0,
+            latency: LatencySummary::default(),
+            queueing: LatencySummary::default(),
+            sla_violations: 0,
+            violation_rate: 0.0,
+            billed: Money::ZERO,
+            penalty: Money::ZERO,
+            dollars_per_hour: 0.0,
+            vms_in_flight: 0,
+            vms_provisioned: 0,
+            mean_decision_secs: 0.0,
+            p95_decision_secs: 0.0,
+        }
+    }
+
+    /// Total cost rate and absolutes folded into one money figure.
+    pub fn total_cost(&self) -> Money {
+        self.billed + self.penalty
+    }
+}
+
+impl PerformanceGoal {
+    /// The latency bound a *single* query of `template` is held to when
+    /// counting SLA violations in live metrics.
+    ///
+    /// Per-query and max-latency goals have exact per-query bounds. The
+    /// aggregate goals have no per-query semantics, so the natural proxy is
+    /// used: the mean target for average-latency goals and the percentile
+    /// deadline for percentile goals (where a violation rate above
+    /// `100 − percent`% — not any single violation — means the goal is
+    /// missed).
+    pub fn per_query_bound(&self, template: TemplateId) -> Millis {
+        match self {
+            PerformanceGoal::PerQuery { deadlines, .. } => deadlines
+                .get(template.index())
+                .copied()
+                .unwrap_or(Millis::ZERO),
+            PerformanceGoal::MaxLatency { deadline, .. } => *deadline,
+            PerformanceGoal::AverageLatency { target, .. } => *target,
+            PerformanceGoal::Percentile { deadline, .. } => *deadline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::PenaltyRate;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<Millis> = (1..=100).map(Millis::from_secs).collect();
+        assert_eq!(percentile_sorted(&xs, 50.0), Millis::from_secs(50));
+        assert_eq!(percentile_sorted(&xs, 95.0), Millis::from_secs(95));
+        assert_eq!(percentile_sorted(&xs, 99.0), Millis::from_secs(99));
+        assert_eq!(percentile_sorted(&xs, 100.0), Millis::from_secs(100));
+        assert_eq!(percentile_sorted(&[], 50.0), Millis::ZERO);
+        // A one-element population answers every percentile with itself.
+        assert_eq!(
+            percentile_sorted(&[Millis::from_secs(7)], 1.0),
+            Millis::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn summary_of_uniform_population() {
+        let xs: Vec<Millis> = (1..=100).map(Millis::from_secs).collect();
+        let s = LatencySummary::of(&xs);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Millis::from_secs(50));
+        assert_eq!(s.p95, Millis::from_secs(95));
+        assert_eq!(s.max, Millis::from_secs(100));
+        assert_eq!(s.mean, Millis::from_millis(50_500));
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn per_query_bound_matches_goal_semantics() {
+        let rate = PenaltyRate::CENT_PER_SECOND;
+        let per_query = PerformanceGoal::PerQuery {
+            deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
+            rate,
+        };
+        assert_eq!(
+            per_query.per_query_bound(TemplateId(1)),
+            Millis::from_mins(1)
+        );
+        let max = PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(5),
+            rate,
+        };
+        assert_eq!(max.per_query_bound(TemplateId(0)), Millis::from_mins(5));
+        let avg = PerformanceGoal::AverageLatency {
+            target: Millis::from_mins(2),
+            rate,
+        };
+        assert_eq!(avg.per_query_bound(TemplateId(9)), Millis::from_mins(2));
+        let pct = PerformanceGoal::Percentile {
+            percent: 90.0,
+            deadline: Millis::from_mins(4),
+            rate,
+        };
+        assert_eq!(pct.per_query_bound(TemplateId(0)), Millis::from_mins(4));
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut s = MetricsSnapshot::empty();
+        s.at = Millis::from_secs(10);
+        s.admitted = 5;
+        s.billed = Money::from_dollars(1.25);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(back
+            .total_cost()
+            .approx_eq(Money::from_dollars(1.25), 1e-12));
+    }
+}

@@ -1,0 +1,102 @@
+//! Admission control: the overload valve.
+//!
+//! An online scheduler that accepts every arrival under saturation grows
+//! its pending queue (and its rescheduling batches) without bound — each
+//! batch replan is `O(batch)`, so overload also slows the scheduler itself.
+//! Admission control sheds load *before* it enters the system; rejected
+//! queries are counted in the metrics, never queued.
+
+use wisedb_core::Millis;
+
+/// The load signals an admission decision may consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadStatus {
+    /// Current virtual time.
+    pub now: Millis,
+    /// Queries queued but not yet started.
+    pub pending: usize,
+    /// Queries admitted but not yet finished (pending + executing).
+    pub in_flight: u64,
+    /// VMs provisioned and not yet released.
+    pub vms_in_flight: usize,
+}
+
+/// When to accept an arriving query.
+#[derive(Clone, Copy)]
+pub enum AdmissionPolicy {
+    /// Accept everything (the default; matches §6.3 replay semantics).
+    AcceptAll,
+    /// Reject once this many queries are already queued unstarted (the
+    /// value is a capacity: `MaxPending(5)` admits while pending ≤ 4).
+    MaxPending(usize),
+    /// Reject once this many queries are already in flight.
+    MaxInFlight(u64),
+    /// Reject once this many VMs are already rented concurrently — a
+    /// spend cap expressed in fleet size.
+    MaxVms(usize),
+    /// An arbitrary hook over the load signals.
+    Custom(fn(&LoadStatus) -> bool),
+}
+
+impl AdmissionPolicy {
+    /// Whether an arrival observed under `status` is admitted.
+    pub fn admits(&self, status: &LoadStatus) -> bool {
+        match self {
+            AdmissionPolicy::AcceptAll => true,
+            AdmissionPolicy::MaxPending(limit) => status.pending < *limit,
+            AdmissionPolicy::MaxInFlight(limit) => status.in_flight < *limit,
+            AdmissionPolicy::MaxVms(limit) => status.vms_in_flight < *limit,
+            AdmissionPolicy::Custom(f) => f(status),
+        }
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::AcceptAll
+    }
+}
+
+impl std::fmt::Debug for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::AcceptAll => write!(f, "AcceptAll"),
+            AdmissionPolicy::MaxPending(n) => write!(f, "MaxPending({n})"),
+            AdmissionPolicy::MaxInFlight(n) => write!(f, "MaxInFlight({n})"),
+            AdmissionPolicy::MaxVms(n) => write!(f, "MaxVms({n})"),
+            AdmissionPolicy::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(pending: usize, in_flight: u64, vms: usize) -> LoadStatus {
+        LoadStatus {
+            now: Millis::from_secs(1),
+            pending,
+            in_flight,
+            vms_in_flight: vms,
+        }
+    }
+
+    #[test]
+    fn policies_gate_on_their_signal() {
+        assert!(AdmissionPolicy::AcceptAll.admits(&status(1000, 1000, 1000)));
+        assert!(AdmissionPolicy::MaxPending(5).admits(&status(4, 0, 0)));
+        assert!(!AdmissionPolicy::MaxPending(5).admits(&status(5, 0, 0)));
+        assert!(AdmissionPolicy::MaxInFlight(2).admits(&status(0, 1, 0)));
+        assert!(!AdmissionPolicy::MaxInFlight(2).admits(&status(0, 2, 0)));
+        assert!(AdmissionPolicy::MaxVms(3).admits(&status(0, 0, 2)));
+        assert!(!AdmissionPolicy::MaxVms(3).admits(&status(0, 0, 3)));
+    }
+
+    #[test]
+    fn custom_hook_sees_the_signals() {
+        let policy = AdmissionPolicy::Custom(|s| s.pending + s.vms_in_flight < 4);
+        assert!(policy.admits(&status(1, 0, 2)));
+        assert!(!policy.admits(&status(2, 0, 2)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Live metrics accounting for the streaming service.
+//!
+//! The collector ingests completions and scheduler timings as they happen
+//! and can emit a [`MetricsSnapshot`] at any virtual instant — the numbers
+//! an operator would watch on a dashboard: latency percentiles, SLA
+//! violation rate, spend rate, fleet size, and scheduler decision latency.
+
+use wisedb_core::{
+    LatencySummary, MetricsSnapshot, Millis, Money, PenaltyTracker, PerformanceGoal, TemplateId,
+};
+use wisedb_sim::Completion;
+
+/// Accumulates per-query outcomes and scheduler timings.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    goal: PerformanceGoal,
+    penalty: PenaltyTracker,
+    admitted: u64,
+    rejected: u64,
+    latencies: Vec<Millis>,
+    queueing: Vec<Millis>,
+    violations: u64,
+    decision_secs: Vec<f64>,
+}
+
+impl MetricsCollector {
+    /// A collector judging violations and penalties under `goal`.
+    pub fn new(goal: PerformanceGoal) -> Self {
+        let penalty = goal.new_tracker();
+        MetricsCollector {
+            goal,
+            penalty,
+            admitted: 0,
+            rejected: 0,
+            latencies: Vec::new(),
+            queueing: Vec::new(),
+            violations: 0,
+            decision_secs: Vec::new(),
+        }
+    }
+
+    /// Records an admitted arrival.
+    pub fn admit(&mut self) {
+        self.admitted += 1;
+    }
+
+    /// Records a rejected arrival.
+    pub fn reject(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Records the scheduler's wall-clock overhead for one arrival.
+    pub fn decision(&mut self, secs: f64) {
+        self.decision_secs.push(secs);
+    }
+
+    /// Records one completed execution. `arrival` is the query's original
+    /// arrival time; its SLA latency is `finish − arrival`.
+    pub fn complete(&mut self, completion: &Completion, arrival: Millis) {
+        let latency = completion.finish.saturating_sub(arrival);
+        self.latencies.push(latency);
+        self.queueing.push(completion.start.saturating_sub(arrival));
+        if latency > self.goal.per_query_bound(completion.template) {
+            self.violations += 1;
+        }
+        self.penalty.push(&self.goal, completion.template, latency);
+    }
+
+    /// Queries completed so far.
+    pub fn completed(&self) -> u64 {
+        self.latencies.len() as u64
+    }
+
+    /// Arrivals admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// The SLA penalty accrued by completions so far.
+    pub fn penalty(&self) -> Money {
+        self.penalty.penalty(&self.goal)
+    }
+
+    /// Per-query violation of `template` at `latency` (exposed for tests).
+    pub fn violates(&self, template: TemplateId, latency: Millis) -> bool {
+        latency > self.goal.per_query_bound(template)
+    }
+
+    /// Snapshots the current state. The cluster-side inputs (`billed`,
+    /// fleet gauges) come from the live cluster at the same instant.
+    pub fn snapshot(
+        &self,
+        now: Millis,
+        billed: Money,
+        vms_in_flight: usize,
+        vms_provisioned: usize,
+    ) -> MetricsSnapshot {
+        let completed = self.completed();
+        let penalty = self.penalty();
+        let hours = now.as_hours_f64();
+        let (mean_decision_secs, p95_decision_secs) = if self.decision_secs.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                wisedb_sim::stats::mean(&self.decision_secs),
+                wisedb_sim::stats::percentile(&self.decision_secs, 95.0),
+            )
+        };
+        MetricsSnapshot {
+            at: now,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed,
+            in_flight: self.admitted - completed,
+            latency: LatencySummary::of(&self.latencies),
+            queueing: LatencySummary::of(&self.queueing),
+            sla_violations: self.violations,
+            violation_rate: if completed == 0 {
+                0.0
+            } else {
+                self.violations as f64 / completed as f64
+            },
+            billed,
+            penalty,
+            dollars_per_hour: if hours > 0.0 {
+                (billed + penalty).as_dollars() / hours
+            } else {
+                0.0
+            },
+            vms_in_flight: vms_in_flight as u64,
+            vms_provisioned: vms_provisioned as u64,
+            mean_decision_secs,
+            p95_decision_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisedb_core::{PenaltyRate, QueryId};
+
+    fn goal() -> PerformanceGoal {
+        PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(2),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        }
+    }
+
+    fn completion(q: u32, start_s: u64, finish_s: u64) -> Completion {
+        Completion {
+            query: QueryId(q),
+            template: TemplateId(0),
+            vm_index: 0,
+            start: Millis::from_secs(start_s),
+            finish: Millis::from_secs(finish_s),
+        }
+    }
+
+    #[test]
+    fn violations_and_penalty_track_the_goal() {
+        let mut m = MetricsCollector::new(goal());
+        m.admit();
+        m.admit();
+        // On time: 60 s latency.
+        m.complete(&completion(0, 10, 70), Millis::from_secs(10));
+        // Violation: 180 s latency, 60 s over → $0.60 at 1 cent/s.
+        m.complete(&completion(1, 100, 200), Millis::from_secs(20));
+        assert_eq!(m.completed(), 2);
+        let s = m.snapshot(Millis::from_mins(10), Money::from_dollars(1.0), 1, 2);
+        assert_eq!(s.sla_violations, 1);
+        assert!((s.violation_rate - 0.5).abs() < 1e-12);
+        assert!(s.penalty.approx_eq(Money::from_dollars(0.60), 1e-9));
+        assert_eq!(s.in_flight, 0);
+        // $1.60 over 1/6 hour = $9.60/h.
+        assert!((s.dollars_per_hour - 9.6).abs() < 1e-9);
+        assert_eq!(s.queueing.max, Millis::from_secs(80));
+    }
+
+    #[test]
+    fn empty_collector_snapshots_zeroes() {
+        let m = MetricsCollector::new(goal());
+        let s = m.snapshot(Millis::ZERO, Money::ZERO, 0, 0);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.violation_rate, 0.0);
+        assert_eq!(s.dollars_per_hour, 0.0);
+        assert_eq!(s.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn decision_latency_percentiles() {
+        let mut m = MetricsCollector::new(goal());
+        for i in 1..=100 {
+            m.decision(i as f64 / 1000.0);
+        }
+        let s = m.snapshot(Millis::from_secs(1), Money::ZERO, 0, 0);
+        assert!((s.mean_decision_secs - 0.0505).abs() < 1e-9);
+        assert!((s.p95_decision_secs - 0.095).abs() < 1e-12);
+    }
+}

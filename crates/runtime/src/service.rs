@@ -1,0 +1,419 @@
+//! The event loop: a virtual-clock online workload-management service.
+//!
+//! [`WorkloadService`] wires the pieces into the §6.3 loop, run as a
+//! continuously stepped process instead of a batch replay:
+//!
+//! 1. an arrival fires (from a stream or an [`ArrivalProcess`]);
+//! 2. the live cluster advances to the arrival instant — queued queries
+//!    start, finished ones complete and feed the metrics;
+//! 3. admission control inspects the load and may shed the arrival;
+//! 4. every *unstarted* query is recalled from the cluster and replanned
+//!    together with the newcomer ([`OnlineScheduler::plan_arrivals`]);
+//! 5. the plan's provision/assign steps are dispatched back onto the
+//!    cluster, which bills them as they execute.
+//!
+//! Everything is deterministic under a fixed seed — same stream, same
+//! placements, same bill — except scheduler *decision latency*, which is
+//! measured wall-clock and reported but never steers the simulation.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wisedb_advisor::online::{
+    ClusterView, OnlineConfig, OnlineScheduler, PendingArrival, PlannedStep,
+};
+use wisedb_core::{
+    ArrivingQuery, CoreResult, MetricsSnapshot, Millis, PerformanceGoal, QueryId, TemplateId,
+    WorkloadSpec,
+};
+use wisedb_sim::{Completion, LiveCluster, LiveOptions};
+
+use crate::admission::{AdmissionPolicy, LoadStatus};
+use crate::arrivals::ArrivalProcess;
+use crate::metrics::MetricsCollector;
+
+/// Configuration of a [`WorkloadService`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Online scheduling configuration (planner, Reuse/Shift, training).
+    pub online: OnlineConfig,
+    /// The overload valve.
+    pub admission: AdmissionPolicy,
+    /// Cluster execution options (start-up delays, latency noise).
+    pub cluster: LiveOptions,
+    /// Seed for arrival generation in
+    /// [`run_process`](WorkloadService::run_process).
+    pub seed: u64,
+    /// Take an interim [`MetricsSnapshot`] every `snapshot_every` offered
+    /// arrivals (`0` = final snapshot only).
+    pub snapshot_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            online: OnlineConfig::default(),
+            admission: AdmissionPolicy::AcceptAll,
+            cluster: LiveOptions::default(),
+            seed: 0x57EA_4,
+            snapshot_every: 0,
+        }
+    }
+}
+
+/// What a finished stream run reports.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Interim snapshots (one per `snapshot_every` arrivals, if enabled).
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// The final snapshot, after draining all queued work.
+    pub last: MetricsSnapshot,
+    /// Every completed execution, in completion order.
+    pub completions: Vec<Completion>,
+}
+
+/// A streaming online workload-management service over a virtual clock.
+pub struct WorkloadService {
+    scheduler: OnlineScheduler,
+    cluster: LiveCluster,
+    metrics: MetricsCollector,
+    config: RuntimeConfig,
+    /// Original arrival time per admitted query, indexed by [`QueryId`].
+    arrival_of: Vec<Millis>,
+    /// Completions observed so far (completion order).
+    completions: Vec<Completion>,
+}
+
+impl WorkloadService {
+    /// Trains a base model for `(spec, goal)` and opens the service.
+    pub fn train(
+        spec: WorkloadSpec,
+        goal: PerformanceGoal,
+        config: RuntimeConfig,
+    ) -> CoreResult<Self> {
+        let scheduler = OnlineScheduler::train(spec.clone(), goal.clone(), config.online.clone())?;
+        Ok(Self::with_scheduler(scheduler, config))
+    }
+
+    /// Opens the service around an already-trained scheduler.
+    pub fn with_scheduler(scheduler: OnlineScheduler, config: RuntimeConfig) -> Self {
+        let spec = scheduler.base_model().spec().clone();
+        let goal = scheduler.base_model().goal().clone();
+        WorkloadService {
+            scheduler,
+            cluster: LiveCluster::new(spec, config.cluster.clone()),
+            metrics: MetricsCollector::new(goal),
+            config,
+            arrival_of: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The workload specification in force.
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.cluster.spec()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Millis {
+        self.cluster.now()
+    }
+
+    /// The live cluster session (fleet state, running bill).
+    pub fn cluster(&self) -> &LiveCluster {
+        &self.cluster
+    }
+
+    /// Offers one arrival to the service at virtual time `at` (monotone
+    /// across calls). Returns `true` if admitted, `false` if shed.
+    pub fn offer(&mut self, template: TemplateId, at: Millis) -> CoreResult<bool> {
+        self.step_to(at);
+
+        let status = LoadStatus {
+            now: at,
+            pending: self.cluster.pending(),
+            in_flight: self.metrics.admitted() - self.metrics.completed(),
+            vms_in_flight: self.cluster.vms_in_flight(),
+        };
+        if !self.config.admission.admits(&status) {
+            self.metrics.reject();
+            return Ok(false);
+        }
+
+        let id = QueryId(self.arrival_of.len() as u32);
+        self.arrival_of.push(at);
+
+        // The batch: the newcomer plus everything recalled unstarted.
+        let recalled = self.cluster.recall_pending();
+        let mut batch: Vec<PendingArrival> = vec![PendingArrival {
+            id,
+            template,
+            arrival: at,
+        }];
+        for r in &recalled {
+            batch.push(PendingArrival {
+                id: r.query,
+                template: r.template,
+                arrival: self.arrival_of[r.query.index()],
+            });
+        }
+
+        let open = self.cluster.open_vm();
+        // Assignments before the first provision step go to the open VM.
+        let mut target = open.as_ref().map(|(index, _)| *index);
+        let view = ClusterView {
+            vms_rented: self.cluster.vms_provisioned() as u32,
+            open_vm: open.map(|(_, view)| view),
+        };
+
+        let started = Instant::now();
+        let plan = match self.scheduler.plan_arrivals(&view, &batch, at) {
+            Ok(plan) => plan,
+            Err(err) => {
+                // Planning failed (e.g. a retrain hit its search limits).
+                // Restore the recalled queries to their previous VMs and
+                // roll the newcomer back, so the service stays coherent
+                // for callers that handle the error and continue.
+                for r in recalled {
+                    self.cluster
+                        .enqueue(r.vm_index, r.query, r.template)
+                        .expect("restoring a just-recalled query cannot fail");
+                }
+                self.arrival_of.pop();
+                return Err(err);
+            }
+        };
+        self.metrics.decision(started.elapsed().as_secs_f64());
+        self.metrics.admit();
+        for step in plan.steps {
+            match step {
+                PlannedStep::Provision(vm_type) => {
+                    let index = self
+                        .cluster
+                        .provision(vm_type)
+                        .expect("planned VM types come from the spec");
+                    target = Some(index);
+                }
+                PlannedStep::Assign { query, template } => {
+                    // Placements were validated against the scheduling spec
+                    // during planning, and no time passes mid-dispatch, so
+                    // the target VM cannot have been released.
+                    let vm = target.expect("plans rent before placing when no VM is open");
+                    self.cluster
+                        .enqueue(vm, query, template)
+                        .expect("planned placements are valid for their VM");
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Advances the virtual clock, harvesting completions into the metrics.
+    fn step_to(&mut self, at: Millis) {
+        for completion in self.cluster.advance_to(at) {
+            self.metrics
+                .complete(&completion, self.arrival_of[completion.query.index()]);
+            self.completions.push(completion);
+        }
+    }
+
+    /// Runs everything still queued to completion.
+    pub fn drain(&mut self) {
+        for completion in self.cluster.drain() {
+            self.metrics
+                .complete(&completion, self.arrival_of[completion.query.index()]);
+            self.completions.push(completion);
+        }
+    }
+
+    /// A metrics snapshot at the current virtual instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.cluster.now(),
+            self.cluster.billed(),
+            self.cluster.vms_in_flight(),
+            self.cluster.vms_provisioned(),
+        )
+    }
+
+    /// Completions observed so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Replays an explicit arrival stream through the loop, then drains.
+    pub fn run_stream(&mut self, stream: &[ArrivingQuery]) -> CoreResult<StreamReport> {
+        let mut snapshots = Vec::new();
+        for (i, arrival) in stream.iter().enumerate() {
+            self.offer(arrival.template, arrival.arrival)?;
+            if self.config.snapshot_every > 0 && (i + 1) % self.config.snapshot_every == 0 {
+                snapshots.push(self.snapshot());
+            }
+        }
+        self.drain();
+        Ok(StreamReport {
+            snapshots,
+            last: self.snapshot(),
+            completions: self.completions.clone(),
+        })
+    }
+
+    /// Draws `n` arrivals from `process` (seeded by the config) and runs
+    /// them through the loop, then drains.
+    pub fn run_process(
+        &mut self,
+        process: &mut dyn ArrivalProcess,
+        n: usize,
+    ) -> CoreResult<StreamReport> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut snapshots = Vec::new();
+        let mut now = self.cluster.now();
+        for i in 0..n {
+            let (gap, template) = process.next(now, &mut rng);
+            now += gap;
+            self.offer(template, now)?;
+            if self.config.snapshot_every > 0 && (i + 1) % self.config.snapshot_every == 0 {
+                snapshots.push(self.snapshot());
+            }
+        }
+        self.drain();
+        Ok(StreamReport {
+            snapshots,
+            last: self.snapshot(),
+            completions: self.completions.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{generate_stream, PoissonProcess, TemplateMix};
+    use wisedb_advisor::ModelConfig;
+    use wisedb_core::{GoalKind, Money, VmType};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    fn config() -> RuntimeConfig {
+        RuntimeConfig {
+            online: OnlineConfig {
+                training: ModelConfig {
+                    num_samples: 40,
+                    sample_size: 5,
+                    seed: 3,
+                    ..ModelConfig::fast()
+                },
+                ..OnlineConfig::default()
+            },
+            ..RuntimeConfig::default()
+        }
+    }
+
+    fn service(kind: GoalKind) -> WorkloadService {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        WorkloadService::train(spec, goal, config()).unwrap()
+    }
+
+    #[test]
+    fn stream_runs_end_to_end_and_completes_everything() {
+        let mut svc = service(GoalKind::MaxLatency);
+        let mut process = PoissonProcess::per_second(1.0 / 20.0, TemplateMix::uniform(2));
+        let report = svc.run_process(&mut process, 30).unwrap();
+        assert_eq!(report.last.admitted, 30);
+        assert_eq!(report.last.completed, 30);
+        assert_eq!(report.last.in_flight, 0);
+        assert_eq!(report.completions.len(), 30);
+        assert!(report.last.billed > Money::ZERO);
+        assert!(report.last.dollars_per_hour > 0.0);
+        assert!(report.last.vms_provisioned >= 1);
+        assert_eq!(report.last.vms_in_flight, 0, "drained cluster is idle");
+        // Latency covers execution at least: T2 is one minute.
+        assert!(report.last.latency.p50 >= Millis::from_secs(60));
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_a_seed() {
+        let run = || {
+            let mut svc = service(GoalKind::PerQuery);
+            let mut process = PoissonProcess::per_second(0.05, TemplateMix::uniform(2));
+            svc.run_process(&mut process, 25).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.last.latency, b.last.latency);
+        assert_eq!(a.last.billed, b.last.billed);
+        assert_eq!(a.last.penalty, b.last.penalty);
+    }
+
+    #[test]
+    fn service_matches_the_batch_online_replayer() {
+        // The incremental loop must reproduce OnlineScheduler::run exactly:
+        // same stream, same per-query placements and times.
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut process = PoissonProcess::per_second(0.05, TemplateMix::uniform(2));
+        let stream = generate_stream(&mut process, 25, 99);
+
+        let mut svc = WorkloadService::train(spec.clone(), goal.clone(), config()).unwrap();
+        let report = svc.run_stream(&stream).unwrap();
+
+        let mut replayer =
+            OnlineScheduler::train(spec.clone(), goal.clone(), config().online).unwrap();
+        let batch_report = replayer.run(&stream).unwrap();
+
+        let mut by_query = report.completions.clone();
+        by_query.sort_by_key(|c| c.query);
+        assert_eq!(by_query.len(), batch_report.outcomes.len());
+        for (c, o) in by_query.iter().zip(&batch_report.outcomes) {
+            assert_eq!(c.query, o.query);
+            assert_eq!(c.vm_index, o.vm_index);
+            assert_eq!(c.start, o.start);
+            assert_eq!(c.finish, o.finish);
+        }
+        // And the money agrees with the replayer's Eq. 1 analogue.
+        let total = report.last.total_cost();
+        let batch_total = batch_report.total_cost(&spec, &goal).unwrap();
+        assert!(
+            total.approx_eq(batch_total, 1e-9),
+            "service {total} vs replayer {batch_total}"
+        );
+    }
+
+    #[test]
+    fn admission_sheds_load_under_pressure() {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut cfg = config();
+        cfg.admission = AdmissionPolicy::MaxPending(2);
+        let mut svc = WorkloadService::train(spec, goal, cfg).unwrap();
+        // A hard burst: 40 queries in 4 seconds of a 1–2-minute workload.
+        let mut process = PoissonProcess::per_second(10.0, TemplateMix::uniform(2));
+        let report = svc.run_process(&mut process, 40).unwrap();
+        assert!(report.last.rejected > 0, "burst must trip MaxPending(2)");
+        assert_eq!(report.last.admitted + report.last.rejected, 40);
+        assert_eq!(report.last.completed, report.last.admitted);
+    }
+
+    #[test]
+    fn interim_snapshots_fire_on_schedule() {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut cfg = config();
+        cfg.snapshot_every = 5;
+        let mut svc = WorkloadService::train(spec, goal, cfg).unwrap();
+        let mut process = PoissonProcess::per_second(0.1, TemplateMix::uniform(2));
+        let report = svc.run_process(&mut process, 12).unwrap();
+        assert_eq!(report.snapshots.len(), 2);
+        assert!(report.snapshots[0].admitted <= report.snapshots[1].admitted);
+        assert!(report.snapshots[0].at <= report.snapshots[1].at);
+    }
+}

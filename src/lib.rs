@@ -22,10 +22,15 @@
 //! * [`search`](wisedb_search) — the scheduling graph and (adaptive) A*.
 //! * [`learn`](wisedb_learn) — feature extraction and the decision-tree
 //!   learner.
-//! * [`advisor`](wisedb_advisor) — model generation, batch/online
-//!   scheduling, strategy recommendation, and baseline heuristics.
+//! * [`advisor`](wisedb_advisor) — model generation (parallel per-sample
+//!   solves), batch/online scheduling, strategy recommendation, and
+//!   baseline heuristics.
 //! * [`sim`](wisedb_sim) — the simulated IaaS cloud, workload generators,
-//!   and the TPC-H-like catalog used by the experiments.
+//!   the TPC-H-like catalog used by the experiments, and the steppable
+//!   live-cluster session.
+//! * [`runtime`](wisedb_runtime) — the streaming online service: arrival
+//!   processes, admission control, the virtual-clock event loop, and live
+//!   SLA metrics.
 //!
 //! ## Building and running
 //!
@@ -35,11 +40,12 @@
 //! network access suffices:
 //!
 //! ```text
-//! cargo build --release          # all six crates + this facade
+//! cargo build --release          # all seven crates + this facade
 //! cargo test -q                  # tier-1: unit + integration + doc tests
 //! cargo run --release --example quickstart
-//! cargo run --release -p wisedb-bench --bin fig09   # paper figures
-//! cargo bench -p wisedb-bench    # timing benches
+//! cargo run --release -p wisedb-bench --bin fig09      # paper figures
+//! cargo run --release -p wisedb-bench --bin streaming  # streaming runtime
+//! cargo bench -p wisedb-bench    # timing benches (incl. streaming)
 //! ```
 //!
 //! See `tests/README.md` for the test-tier layout.
@@ -66,10 +72,43 @@
 //! assert!(schedule.num_vms() >= 1);
 //! assert!(cost > Money::ZERO);
 //! ```
+//!
+//! ## Streaming runtime
+//!
+//! The batch quickstart schedules a workload that is fully known up front.
+//! The [`runtime`](wisedb_runtime) crate instead *streams*: arrivals from a
+//! pluggable process (Poisson, bursty ON-OFF, diurnal, template-drift) are
+//! pushed through the §6.3 rescheduling loop against a live simulated
+//! cluster, with admission control and live SLA metrics:
+//!
+//! ```
+//! use wisedb::prelude::*;
+//!
+//! let spec = wisedb::sim::catalog::tpch_like(4);
+//! let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+//! let config = RuntimeConfig {
+//!     online: OnlineConfig {
+//!         training: ModelConfig { num_samples: 40, sample_size: 5, ..ModelConfig::fast() },
+//!         ..OnlineConfig::default()
+//!     },
+//!     ..RuntimeConfig::default()
+//! };
+//! let mut service = WorkloadService::train(spec, goal, config).unwrap();
+//!
+//! // 20 Poisson arrivals at one query per 100 s of virtual time.
+//! let mut process = PoissonProcess::per_second(0.01, TemplateMix::uniform(4));
+//! let report = service.run_process(&mut process, 20).unwrap();
+//! assert_eq!(report.last.completed, 20);
+//! // The dashboard numbers: p95 latency, violation rate, spend rate.
+//! assert!(report.last.latency.p95 >= report.last.latency.p50);
+//! assert!(report.last.violation_rate <= 1.0);
+//! assert!(report.last.dollars_per_hour > 0.0);
+//! ```
 
 pub use wisedb_advisor as advisor;
 pub use wisedb_core as core;
 pub use wisedb_learn as learn;
+pub use wisedb_runtime as runtime;
 pub use wisedb_search as search;
 pub use wisedb_sim as sim;
 
@@ -80,9 +119,14 @@ pub mod prelude {
     pub use wisedb_advisor::online::{OnlineConfig, OnlineScheduler};
     pub use wisedb_advisor::strategy::{RecommenderConfig, StrategyRecommender};
     pub use wisedb_core::{
-        cost_breakdown, total_cost, CostBreakdown, GoalKind, Millis, Money, PenaltyRate,
-        PerformanceGoal, Query, QueryId, QueryTemplate, Schedule, TemplateId, VmType, VmTypeId,
-        Workload, WorkloadSpec,
+        cost_breakdown, total_cost, CostBreakdown, GoalKind, LatencySummary, MetricsSnapshot,
+        Millis, Money, PenaltyRate, PerformanceGoal, Query, QueryId, QueryTemplate, Schedule,
+        TemplateId, VmType, VmTypeId, Workload, WorkloadSpec,
+    };
+    pub use wisedb_runtime::{
+        AdmissionPolicy, ArrivalProcess, DiurnalProcess, DriftProcess, OnOffProcess,
+        PoissonProcess, RuntimeConfig, StreamReport, TemplateMix, WorkloadService,
     };
     pub use wisedb_search::astar::{AStarSearcher, OptimalSchedule};
+    pub use wisedb_sim::{LiveCluster, LiveOptions};
 }

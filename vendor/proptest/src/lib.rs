@@ -4,9 +4,20 @@
 //! [`Strategy`] trait (`prop_map`, `prop_filter`, `prop_flat_map`, `boxed`),
 //! range and tuple strategies, [`Just`], [`collection::vec`],
 //! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` / `prop_assume!`
-//! macros. Differences from the real crate: no shrinking (failures report
-//! the raw counterexample) and a fixed deterministic seed (override with the
-//! `PROPTEST_SEED` environment variable).
+//! macros.
+//!
+//! Failing cases are **greedily shrunk**: integer and float ranges shrink
+//! toward their lower bound, `collection::vec` shrinks by halving, removing
+//! single elements, and shrinking elements in place, tuples shrink one
+//! component at a time, and `prop_filter` shrinks through to its inner
+//! strategy (keeping only candidates that satisfy the predicate). Mapped
+//! and flat-mapped strategies do not shrink (the mapping cannot be
+//! inverted), so properties built from them report the raw counterexample.
+//! Shrinking effort is capped by [`ProptestConfig::max_shrink_iters`].
+//!
+//! Differences from the real crate: a fixed deterministic seed (override
+//! with the `PROPTEST_SEED` environment variable) and the simpler greedy
+//! shrinking described above.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +32,7 @@ pub struct ProptestConfig {
     pub max_local_rejects: u32,
     /// Cap on whole-case rejections (`prop_assume!`) before giving up.
     pub max_global_rejects: u32,
-    /// Accepted for compatibility; shrinking is not implemented.
+    /// Cap on candidate evaluations while shrinking a failing case.
     pub max_shrink_iters: u32,
 }
 
@@ -31,7 +42,7 @@ impl Default for ProptestConfig {
             cases: 256,
             max_local_rejects: 65_536,
             max_global_rejects: 1_024,
-            max_shrink_iters: 0,
+            max_shrink_iters: 4_096,
         }
     }
 }
@@ -94,6 +105,14 @@ pub trait Strategy {
     /// Draws one value, or rejects (caller retries).
     fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject>;
 
+    /// Candidate simplifications of `value`, most aggressive first.
+    /// Strategies that cannot shrink return an empty list (the default).
+    /// Every candidate must itself be a value the strategy could produce.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps produced values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -143,6 +162,9 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
         (**self).new_value(runner)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -150,6 +172,148 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
         (**self).new_value(runner)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Thread ids currently shrinking a failing case (module-level so every
+/// monomorphization of [`run_property`] shares it).
+static SHRINKING_THREADS: std::sync::Mutex<Vec<std::thread::ThreadId>> =
+    std::sync::Mutex::new(Vec::new());
+
+/// One-time installation of the filtering panic hook.
+static HOOK_INSTALL: std::sync::Once = std::sync::Once::new();
+
+/// Mutes panic output from the *current thread* while `f` runs, leaving
+/// every other thread's panics (unrelated concurrently failing tests)
+/// reported normally. Installs — once, process-wide — a hook that forwards
+/// to the previously installed hook unless the panicking thread is
+/// mid-shrink; the wrapper stays installed afterwards, which is harmless.
+fn with_thread_panics_muted<R>(f: impl FnOnce() -> R) -> R {
+    HOOK_INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let id = std::thread::current().id();
+            let muted = SHRINKING_THREADS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(&id);
+            if !muted {
+                previous(info);
+            }
+        }));
+    });
+    let id = std::thread::current().id();
+    SHRINKING_THREADS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(id);
+    // Un-mute on the way out even if `f` itself panics.
+    struct Unmute(std::thread::ThreadId);
+    impl Drop for Unmute {
+        fn drop(&mut self) {
+            let mut threads = SHRINKING_THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = threads.iter().position(|t| *t == self.0) {
+                threads.swap_remove(pos);
+            }
+        }
+    }
+    let _unmute = Unmute(id);
+    f()
+}
+
+/// The [`proptest!`] driver: draws cases from `strategy` until `config.cases`
+/// pass, rejecting on `Err` (a failed `prop_assume!`). A panicking case is
+/// greedily shrunk (with the panic hook muted so candidate evaluations stay
+/// silent), the raw and minimal counterexamples are reported, and the
+/// minimal case is re-run uncaught so its assertion message surfaces.
+pub fn run_property<S>(
+    config: &ProptestConfig,
+    strategy: &S,
+    name: &str,
+    run_case: impl Fn(&S::Value) -> Result<(), Reject>,
+) where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+{
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    let mut runner = TestRunner::new(config);
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    while accepted < config.cases {
+        if rejected > config.max_global_rejects as u64 {
+            panic!(
+                "proptest: too many global rejects ({accepted} of {} cases ran)",
+                config.cases
+            );
+        }
+        let vals = match strategy.new_value(&mut runner) {
+            Ok(v) => v,
+            Err(_) => {
+                rejected += 1;
+                continue;
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(|| run_case(&vals))) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(_)) => rejected += 1,
+            Err(payload) => {
+                let raw = format!("{vals:?}");
+                // Mute this thread's panics while candidate evaluations
+                // run; other threads' (unrelated tests') panics still
+                // report normally.
+                let minimal = with_thread_panics_muted(|| {
+                    greedy_shrink(strategy, vals, config.max_shrink_iters, |c| {
+                        catch_unwind(AssertUnwindSafe(|| run_case(c))).is_err()
+                    })
+                });
+                eprintln!(
+                    "proptest: property `{name}` failed (case {} of {})\n  \
+                     raw counterexample: {raw}\n  \
+                     minimal counterexample: {minimal:?}",
+                    accepted + 1,
+                    config.cases
+                );
+                match catch_unwind(AssertUnwindSafe(|| run_case(&minimal))) {
+                    Err(p) => resume_unwind(p),
+                    // The minimal case passed on re-run (a flaky property);
+                    // fall back to the original failure.
+                    Ok(_) => resume_unwind(payload),
+                }
+            }
+        }
+    }
+}
+
+/// Greedily minimizes a failing input: repeatedly replaces the current
+/// counterexample with its first shrink candidate that still fails, until
+/// no candidate fails or `max_iters` candidate evaluations are spent.
+/// Returns the (locally) minimal failing value.
+pub fn greedy_shrink<S: Strategy + ?Sized>(
+    strategy: &S,
+    initial: S::Value,
+    max_iters: u32,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value {
+    let mut current = initial;
+    let mut iters = 0u32;
+    'outer: while iters < max_iters {
+        for candidate in strategy.shrink(&current) {
+            iters += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+            if iters >= max_iters {
+                break 'outer;
+            }
+        }
+        // No candidate reproduces the failure: local minimum reached.
+        break;
+    }
+    current
 }
 
 /// Always produces a clone of the given value.
@@ -197,6 +361,13 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             self.whence
         )))
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|c| (self.pred)(c))
+            .collect()
+    }
 }
 
 /// See [`Strategy::prop_flat_map`].
@@ -239,6 +410,49 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Shrink candidates of an integer toward a lower bound: the bound itself,
+/// the midpoint, and the predecessor (deduplicated, most aggressive first).
+fn shrink_int_toward<T>(low: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + PartialEq + num_ops::IntOps,
+{
+    if !(v > low) {
+        return Vec::new();
+    }
+    let mut out = vec![low];
+    let mid = num_ops::IntOps::midpoint(low, v);
+    if mid != low && mid != v {
+        out.push(mid);
+    }
+    let dec = num_ops::IntOps::pred(v);
+    if dec != low && dec != mid {
+        out.push(dec);
+    }
+    out
+}
+
+/// The tiny integer-arithmetic surface [`shrink_int_toward`] needs,
+/// implemented for every range-strategy element type.
+mod num_ops {
+    pub trait IntOps: Sized {
+        fn midpoint(low: Self, v: Self) -> Self;
+        fn pred(v: Self) -> Self;
+    }
+    macro_rules! impl_int_ops {
+        ($($t:ty),*) => {$(
+            impl IntOps for $t {
+                fn midpoint(low: $t, v: $t) -> $t {
+                    low + (v - low) / 2
+                }
+                fn pred(v: $t) -> $t {
+                    v - 1
+                }
+            }
+        )*};
+    }
+    impl_int_ops!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -246,11 +460,17 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reject> {
                 Ok(runner.rng().gen_range(self.clone()))
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start, *value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Reject> {
                 Ok(runner.rng().gen_range(self.clone()))
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start(), *value)
             }
         }
     )*};
@@ -263,20 +483,48 @@ impl Strategy for std::ops::Range<f64> {
     fn new_value(&self, runner: &mut TestRunner) -> Result<f64, Reject> {
         Ok(runner.rng().gen_range(self.clone()))
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let low = self.start;
+        if !(*value > low) {
+            return Vec::new();
+        }
+        let mut out = vec![low];
+        let mid = low + (*value - low) / 2.0;
+        if mid > low && mid < *value {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident : $i:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Reject> {
                 Ok(($(self.$i.new_value(runner)?,)+))
+            }
+            /// Shrinks one component at a time, the others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A: 0)
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
@@ -335,11 +583,38 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, runner: &mut TestRunner) -> Result<Vec<S::Value>, Reject> {
             let len = runner.rng().gen_range(self.size.min..=self.size.max);
             (0..len).map(|_| self.elem.new_value(runner)).collect()
+        }
+        /// Shrinks by halving, by removing single elements (respecting the
+        /// minimum size), and by shrinking elements in place.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            if value.len() > self.size.min {
+                let half = (value.len() / 2).max(self.size.min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for i in 0..value.len() {
+                for candidate in self.elem.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -348,8 +623,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        BoxedStrategy, Just, ProptestConfig, Reject, Strategy, TestRunner, Union,
+        greedy_shrink, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, BoxedStrategy, Just, ProptestConfig, Reject, Strategy, TestRunner, Union,
     };
 }
 
@@ -415,48 +690,19 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __runner = $crate::TestRunner::new(&__config);
-                let mut __accepted: u32 = 0;
-                let mut __rejected: u64 = 0;
-                while __accepted < __config.cases {
-                    if __rejected > __config.max_global_rejects as u64 {
-                        panic!(
-                            "proptest: too many global rejects ({} of {} cases ran)",
-                            __accepted, __config.cases
-                        );
-                    }
-                    let __vals = ( $(
-                        match $crate::Strategy::new_value(&($strat), &mut __runner) {
-                            ::std::result::Result::Ok(v) => v,
-                            ::std::result::Result::Err(_) => {
-                                __rejected += 1;
-                                continue;
-                            }
-                        }
-                    ),* ,);
-                    // Captured up front so a failing case can report the
-                    // exact counterexample (there is no shrinking).
-                    let __repr = ::std::format!("{:?}", __vals);
-                    let ( $($pat),* ,) = __vals;
-                    let __outcome: ::std::result::Result<(), $crate::Reject> =
-                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                            { $body }
-                            ::std::result::Result::Ok(())
-                        })) {
-                            ::std::result::Result::Ok(r) => r,
-                            ::std::result::Result::Err(payload) => {
-                                ::std::eprintln!(
-                                    "proptest: property `{}` failed for inputs {} (case {} of {})",
-                                    stringify!($name), __repr, __accepted + 1, __config.cases
-                                );
-                                ::std::panic::resume_unwind(payload);
-                            }
-                        };
-                    match __outcome {
-                        ::std::result::Result::Ok(()) => __accepted += 1,
-                        ::std::result::Result::Err(_) => __rejected += 1,
-                    }
-                }
+                let __strategy = ( $($strat,)+ );
+                $crate::run_property(
+                    &__config,
+                    &__strategy,
+                    stringify!($name),
+                    |__vals| {
+                        // One case per cloned draw: Ok(()) passes, Err
+                        // rejects (`prop_assume!`), panics propagate.
+                        let ( $($pat,)+ ) = ::std::clone::Clone::clone(__vals);
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -500,5 +746,127 @@ mod tests {
             }
         }
         assert!(seen[0] && seen[1]);
+    }
+
+    // ----------------------------------------------------------------
+    // Greedy shrinking
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn int_shrink_reaches_the_minimal_failing_value() {
+        // "Fails" iff v >= 7: bisection must land exactly on 7.
+        let strat = 0u32..100;
+        assert_eq!(crate::greedy_shrink(&strat, 63, 10_000, |v| *v >= 7), 7);
+        assert_eq!(crate::greedy_shrink(&strat, 99, 10_000, |v| *v >= 7), 7);
+        // Already minimal: nothing to do.
+        assert_eq!(crate::greedy_shrink(&strat, 7, 10_000, |v| *v >= 7), 7);
+    }
+
+    #[test]
+    fn int_shrink_candidates_stay_in_range_and_decrease() {
+        let strat = 5u32..100;
+        for v in [6u32, 50, 99] {
+            for c in Strategy::shrink(&strat, &v) {
+                assert!((5..100).contains(&c) && c < v, "bad candidate {c} of {v}");
+            }
+        }
+        assert!(Strategy::shrink(&strat, &5).is_empty());
+        // Inclusive ranges shrink toward their own lower bound.
+        let incl = 3u32..=9;
+        assert!(Strategy::shrink(&incl, &9).contains(&3));
+        // Signed ranges shrink toward a negative bound.
+        let signed = -10i32..10;
+        assert!(Strategy::shrink(&signed, &5).contains(&-10));
+    }
+
+    #[test]
+    fn f64_shrink_halves_toward_the_lower_bound() {
+        let strat = 0.0f64..100.0;
+        let minimal = crate::greedy_shrink(&strat, 80.0, 10_000, |v| *v >= 10.0);
+        assert!((10.0..10.5).contains(&minimal), "minimal {minimal}");
+        assert!(Strategy::shrink(&strat, &0.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_minimizes_length_and_elements() {
+        // "Fails" iff any element >= 5: the minimal case is exactly [5].
+        let strat = collection::vec(0u32..10, 0..=8);
+        let minimal = crate::greedy_shrink(&strat, vec![9, 1, 2, 8, 3], 100_000, |v| {
+            v.iter().any(|&x| x >= 5)
+        });
+        assert_eq!(minimal, vec![5]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_size() {
+        let strat = collection::vec(0u32..10, 2..=6);
+        for c in Strategy::shrink(&strat, &vec![7, 7, 7]) {
+            assert!(c.len() >= 2, "candidate below minimum size: {c:?}");
+        }
+        let minimal = crate::greedy_shrink(&strat, vec![7, 7, 7, 7], 100_000, |v| v.len() >= 2);
+        assert_eq!(minimal, vec![0, 0]);
+    }
+
+    #[test]
+    fn tuple_shrink_moves_one_component_at_a_time() {
+        let strat = (0u32..100, 0u32..100);
+        for (a, b) in Strategy::shrink(&strat, &(9, 9)) {
+            assert!((a == 9) != (b == 9), "both components changed: ({a},{b})");
+        }
+        let minimal = crate::greedy_shrink(&strat, (9, 9), 10_000, |&(a, b)| a + b >= 10);
+        assert_eq!(minimal.0 + minimal.1, 10, "on the failure boundary");
+    }
+
+    #[test]
+    fn filter_shrink_keeps_the_predicate() {
+        let strat = (0u32..100).prop_filter("odd", |v| v % 2 == 1);
+        for c in Strategy::shrink(&strat, &63) {
+            assert_eq!(c % 2, 1, "even candidate {c} escaped the filter");
+        }
+        // Fails iff v >= 7; the smallest odd failing value is 7.
+        assert_eq!(crate::greedy_shrink(&strat, 63, 10_000, |v| *v >= 7), 7);
+    }
+
+    #[test]
+    fn shrink_iteration_budget_is_respected() {
+        let strat = 0u64..u64::MAX / 2;
+        let mut evals = 0u32;
+        let budget = 5;
+        crate::greedy_shrink(&strat, u64::MAX / 2 - 1, budget, |_| {
+            evals += 1;
+            true
+        });
+        assert!(
+            evals <= budget,
+            "{evals} evaluations for a budget of {budget}"
+        );
+    }
+
+    // A deliberately failing property (no #[test]: invoked manually below
+    // to observe the shrinking behaviour end to end).
+    crate::proptest! {
+        fn fails_from_seven_up(v in 0u32..1000) {
+            crate::prop_assert!(v < 7, "boom at {}", v);
+        }
+    }
+
+    #[test]
+    fn macro_shrinks_to_the_minimal_counterexample_before_failing() {
+        // Mute the default hook so the intentional failure stays quiet.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(fails_from_seven_up);
+        std::panic::set_hook(prev);
+        let payload = outcome.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        // The final panic comes from re-running the *minimal* case.
+        assert!(
+            message.contains("boom at 7"),
+            "expected the minimal counterexample 7, got: {message}"
+        );
     }
 }
