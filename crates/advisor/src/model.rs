@@ -13,7 +13,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use wisedb_core::{CoreResult, PerformanceGoal, Schedule, TemplateId, Workload, WorkloadSpec};
+use wisedb_core::{
+    CoreResult, GoalHandle, PerformanceGoal, Schedule, SpecHandle, TemplateId, Workload,
+    WorkloadSpec,
+};
 use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
 use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig};
 
@@ -108,11 +111,14 @@ pub struct TrainingStats {
     pub training_secs: f64,
 }
 
-/// A trained workload-management strategy for one (spec, goal) pair.
+/// A trained workload-management strategy for one (spec, goal) pair. The
+/// spec and goal are held by shared handle, so cloning a model — or handing
+/// its spec to the scheduler, cluster, and metrics layers — never copies
+/// the latency tables.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionModel {
-    spec: WorkloadSpec,
-    goal: PerformanceGoal,
+    spec: SpecHandle,
+    goal: GoalHandle,
     schema: FeatureSchema,
     tree: DecisionTree,
     stats: TrainingStats,
@@ -124,8 +130,18 @@ impl DecisionModel {
         &self.spec
     }
 
+    /// A shareable handle to the model's spec (an `Arc` bump to clone).
+    pub fn spec_handle(&self) -> &SpecHandle {
+        &self.spec
+    }
+
     /// The performance goal the model was trained for.
     pub fn goal(&self) -> &PerformanceGoal {
+        &self.goal
+    }
+
+    /// A shareable handle to the model's goal (an `Arc` bump to clone).
+    pub fn goal_handle(&self) -> &GoalHandle {
         &self.goal
     }
 
@@ -216,15 +232,25 @@ pub struct TrainingArtifacts {
 
 /// Trains [`DecisionModel`]s for a (spec, goal) pair.
 pub struct ModelGenerator {
-    spec: WorkloadSpec,
-    goal: PerformanceGoal,
+    spec: SpecHandle,
+    goal: GoalHandle,
     config: ModelConfig,
 }
 
 impl ModelGenerator {
-    /// Creates a generator. The goal is validated against the spec.
-    pub fn new(spec: WorkloadSpec, goal: PerformanceGoal, config: ModelConfig) -> Self {
-        ModelGenerator { spec, goal, config }
+    /// Creates a generator. The goal is validated against the spec. Accepts
+    /// an owned [`WorkloadSpec`]/[`PerformanceGoal`] or existing handles —
+    /// handing in handles makes construction free of deep copies.
+    pub fn new(
+        spec: impl Into<SpecHandle>,
+        goal: impl Into<GoalHandle>,
+        config: ModelConfig,
+    ) -> Self {
+        ModelGenerator {
+            spec: spec.into(),
+            goal: goal.into(),
+            config,
+        }
     }
 
     /// The generator's configuration.
@@ -278,7 +304,7 @@ impl ModelGenerator {
             self.solve_samples(goal, &artifacts.samples, &mut artifacts.searchers)?;
         let generator = ModelGenerator {
             spec: self.spec.clone(),
-            goal: goal.clone(),
+            goal: GoalHandle::new(goal.clone()),
             config: self.config.clone(),
         };
         Ok(generator.fit_tree(&paths, expanded, start))

@@ -25,13 +25,14 @@
 //!   Mixed-age batches use the oldest wait, a conservative tightening.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use wisedb_core::{
-    CoreResult, Millis, Money, PerformanceGoal, QueryId, QueryLatency, QueryTemplate, TemplateId,
-    VmTypeId, WorkloadSpec,
+    CoreResult, GoalHandle, Millis, Money, PerformanceGoal, QueryId, QueryLatency, QueryTemplate,
+    SpecHandle, TemplateId, VmTypeId, WorkloadSpec,
 };
 use wisedb_search::{AStarSearcher, Decision, LastVm, SearchConfig, SearchState};
 
@@ -226,28 +227,53 @@ pub struct ArrivalPlan {
     pub shifted: bool,
 }
 
+/// An augmented scheduling view for a batch with waited queries: the base
+/// spec extended with aged template variants and the goal extended to
+/// match, both behind shared handles, plus the (base template, age bucket)
+/// → scheduling-template mapping. Cached per aged-pair signature, so a
+/// warm online loop builds it **once** per distinct ageing pattern instead
+/// of deep-cloning the spec and goal on every aged arrival. Cloning a view
+/// is three reference bumps.
+#[derive(Debug, Clone)]
+struct AugmentedView {
+    spec: SpecHandle,
+    goal: GoalHandle,
+    /// (base template, bucket) → scheduling template id.
+    map: Arc<HashMap<(u32, u64), TemplateId>>,
+}
+
 /// The online scheduler: owns the base model, the ω-keyed model cache, and
 /// the shift ladder.
 pub struct OnlineScheduler {
-    spec: WorkloadSpec,
-    goal: PerformanceGoal,
+    spec: SpecHandle,
+    goal: GoalHandle,
     config: OnlineConfig,
     base: DecisionModel,
     generator: ModelGenerator,
     artifacts: TrainingArtifacts,
-    /// Reuse cache: quantized (template, age-bucket) signature → model.
-    reuse_cache: HashMap<Vec<u64>, DecisionModel>,
+    /// Reuse cache (the ω mapping): aged (template, age-bucket) pairs →
+    /// model. Keyed identically to `augment_cache` — the trained model is
+    /// a pure function of the augmented (spec, goal), which fresh
+    /// templates do not affect, so batches differing only in fresh
+    /// arrivals share one model.
+    reuse_cache: HashMap<Vec<(u32, u64)>, DecisionModel>,
     /// Shift cache: ω bucket → model for the shifted goal.
     shift_cache: HashMap<u64, DecisionModel>,
+    /// Augmented spec/goal views keyed by the batch's aged (template,
+    /// bucket) pairs — shared by the Reuse-cached, no-reuse, and oracle
+    /// aged paths.
+    augment_cache: HashMap<Vec<(u32, u64)>, AugmentedView>,
 }
 
 impl OnlineScheduler {
     /// Trains the base model and prepares the caches.
     pub fn train(
-        spec: WorkloadSpec,
-        goal: PerformanceGoal,
+        spec: impl Into<SpecHandle>,
+        goal: impl Into<GoalHandle>,
         config: OnlineConfig,
     ) -> CoreResult<Self> {
+        let spec = spec.into();
+        let goal = goal.into();
         let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
         let (base, artifacts) = generator.train_with_artifacts()?;
         Ok(OnlineScheduler {
@@ -259,6 +285,7 @@ impl OnlineScheduler {
             artifacts,
             reuse_cache: HashMap::new(),
             shift_cache: HashMap::new(),
+            augment_cache: HashMap::new(),
         })
     }
 
@@ -268,8 +295,8 @@ impl OnlineScheduler {
         artifacts: TrainingArtifacts,
         config: OnlineConfig,
     ) -> Self {
-        let spec = base.spec().clone();
-        let goal = base.goal().clone();
+        let spec = base.spec_handle().clone();
+        let goal = base.goal_handle().clone();
         let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
         OnlineScheduler {
             spec,
@@ -280,6 +307,7 @@ impl OnlineScheduler {
             artifacts,
             reuse_cache: HashMap::new(),
             shift_cache: HashMap::new(),
+            augment_cache: HashMap::new(),
         }
     }
 
@@ -402,10 +430,7 @@ impl OnlineScheduler {
         now: Millis,
     ) -> CoreResult<ArrivalPlan> {
         let quantum = self.config.age_quantum.as_millis().max(1);
-        let bucket_of = |q: &PendingArrival| {
-            let age = now.saturating_sub(q.arrival).as_millis();
-            (age + quantum / 2) / quantum
-        };
+        let bucket_of = |q: &PendingArrival| age_bucket(now.saturating_sub(q.arrival), quantum);
         let max_bucket = batch.iter().map(bucket_of).max().unwrap_or(0);
         let all_fresh = max_bucket == 0;
         let shiftable = self.goal.is_linearly_shiftable();
@@ -419,10 +444,7 @@ impl OnlineScheduler {
             Shifted(&'m DecisionModel),
             Aged {
                 model: &'m DecisionModel,
-                spec: WorkloadSpec,
-                goal: PerformanceGoal,
-                /// (base template, bucket) → scheduling template id
-                map: HashMap<(u32, u64), TemplateId>,
+                view: AugmentedView,
             },
         }
 
@@ -445,36 +467,34 @@ impl OnlineScheduler {
             }
             View::Shifted(&self.shift_cache[&max_bucket])
         } else {
-            // Aged-template path (with optional Reuse caching).
-            let mut signature: Vec<u64> = batch
-                .iter()
-                .map(|q| q.template.0 as u64 * 1_000_000 + bucket_of(q))
-                .collect();
-            signature.sort_unstable();
-            signature.dedup();
-
-            let (aug_spec, aug_goal, map) = self.augment(batch, now, quantum)?;
+            // Aged-template path (with optional Reuse caching). Both
+            // caches key on the batch's aged (template, bucket) pairs —
+            // one cached view and one trained model per distinct ageing
+            // pattern; a warm loop reaches here without touching the
+            // spec's latency tables.
+            let pairs = aged_pairs(batch, now, quantum);
+            let view = self.augmented_view(&pairs, quantum)?;
             let use_cache = self.config.reuse && self.config.planner == Planner::Model;
             let model_ref: &DecisionModel = if use_cache {
-                if self.reuse_cache.contains_key(&signature) {
+                if self.reuse_cache.contains_key(&pairs) {
                     cache_hit = true;
                 } else {
                     let generator = ModelGenerator::new(
-                        aug_spec.clone(),
-                        aug_goal.clone(),
+                        view.spec.clone(),
+                        view.goal.clone(),
                         self.config.training.clone(),
                     );
                     let model = generator.train()?;
                     retrained = true;
-                    self.reuse_cache.insert(signature.clone(), model);
+                    self.reuse_cache.insert(pairs.clone(), model);
                 }
-                &self.reuse_cache[&signature]
+                &self.reuse_cache[&pairs]
             } else {
                 // Reuse disabled: pay for a fresh model every time (the
                 // "None" arm of Figure 19).
                 let generator = ModelGenerator::new(
-                    aug_spec.clone(),
-                    aug_goal.clone(),
+                    view.spec.clone(),
+                    view.goal.clone(),
                     self.config.training.clone(),
                 );
                 retrained = true;
@@ -483,9 +503,7 @@ impl OnlineScheduler {
             };
             View::Aged {
                 model: model_ref,
-                spec: aug_spec,
-                goal: aug_goal,
-                map,
+                view,
             }
         };
 
@@ -493,21 +511,19 @@ impl OnlineScheduler {
             match &model_view {
                 View::Base(m) => (&self.spec, &self.goal, m),
                 View::Shifted(m) => (&self.spec, m.goal(), m),
-                View::Aged {
-                    model, spec, goal, ..
-                } => (spec, goal, model),
+                View::Aged { model, view } => (&view.spec, &view.goal, model),
             };
 
         // Map each batch query to its scheduling-template id.
         let sched_template = |q: &PendingArrival| -> TemplateId {
             match &model_view {
                 View::Base(_) | View::Shifted(_) => q.template,
-                View::Aged { map, .. } => {
+                View::Aged { view, .. } => {
                     let bucket = bucket_of(q);
                     if bucket == 0 {
                         q.template
                     } else {
-                        map[&(q.template.0, bucket)]
+                        view.map[&(q.template.0, bucket)]
                     }
                 }
             }
@@ -579,35 +595,24 @@ impl OnlineScheduler {
         })
     }
 
-    /// Builds the augmented spec/goal for a batch with waited queries:
-    /// one extra template per (base template, age bucket > 0), its latency
+    /// The augmented scheduling view for a batch with waited queries: one
+    /// extra template per (base template, age bucket > 0), its latency
     /// inflated by the (quantized) wait so queue math includes time already
     /// spent waiting. Per-query goals give the aged variant its base
     /// template's deadline; other goals are template-free.
-    fn augment(
-        &self,
-        batch: &[PendingArrival],
-        now: Millis,
-        quantum: u64,
-    ) -> CoreResult<(
-        WorkloadSpec,
-        PerformanceGoal,
-        HashMap<(u32, u64), TemplateId>,
-    )> {
-        let mut spec = self.spec.clone();
-        let mut goal = self.goal.clone();
+    ///
+    /// Views are pure functions of the batch's aged (template, bucket)
+    /// pairs, so they are cached: a repeated ageing pattern returns the
+    /// shared handles without cloning the spec or goal.
+    fn augmented_view(&mut self, pairs: &[(u32, u64)], quantum: u64) -> CoreResult<AugmentedView> {
+        if let Some(view) = self.augment_cache.get(pairs) {
+            return Ok(view.clone());
+        }
+
+        let mut spec = (*self.spec).clone();
+        let mut goal = (*self.goal).clone();
         let mut map: HashMap<(u32, u64), TemplateId> = HashMap::new();
-        let mut pairs: Vec<(u32, u64)> = batch
-            .iter()
-            .filter_map(|q| {
-                let age = now.saturating_sub(q.arrival).as_millis();
-                let bucket = (age + quantum / 2) / quantum;
-                (bucket > 0).then_some((q.template.0, bucket))
-            })
-            .collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-        for (base_t, bucket) in pairs {
+        for &(base_t, bucket) in pairs {
             let base = self.spec.template(TemplateId(base_t))?;
             let wait = Millis::from_millis(bucket * quantum);
             let aged = QueryTemplate {
@@ -616,13 +621,41 @@ impl OnlineScheduler {
             };
             let id = TemplateId(spec.num_templates() as u32);
             spec = spec.with_extra_template(aged)?;
-            if let PerformanceGoal::PerQuery { deadlines, .. } = &self.goal {
+            if let PerformanceGoal::PerQuery { deadlines, .. } = &*self.goal {
                 goal = goal.with_extra_deadline(deadlines[base_t as usize]);
             }
             map.insert((base_t, bucket), id);
         }
-        Ok((spec, goal, map))
+        let view = AugmentedView {
+            spec: SpecHandle::new(spec),
+            goal: GoalHandle::new(goal),
+            map: Arc::new(map),
+        };
+        self.augment_cache.insert(pairs.to_vec(), view.clone());
+        Ok(view)
     }
+}
+
+/// The ω quantization: which age bucket a wait of `age` falls in
+/// (rounded to the nearest multiple of `quantum`). The single source of
+/// truth — the augmented-view map is indexed by buckets produced here.
+fn age_bucket(age: Millis, quantum: u64) -> u64 {
+    (age.as_millis() + quantum / 2) / quantum
+}
+
+/// The batch's distinct aged (template, age-bucket) pairs, sorted — the
+/// shared cache key of the augmented views and the Reuse model cache.
+fn aged_pairs(batch: &[PendingArrival], now: Millis, quantum: u64) -> Vec<(u32, u64)> {
+    let mut pairs: Vec<(u32, u64)> = batch
+        .iter()
+        .filter_map(|q| {
+            let bucket = age_bucket(now.saturating_sub(q.arrival), quantum);
+            (bucket > 0).then_some((q.template.0, bucket))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 /// Starts tentative queries whose start time is strictly before `now`,

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
-use wisedb::advisor::{ModelGenerator, OnlineConfig, OnlineScheduler, TrainingArtifacts};
+use wisedb::advisor::{ModelGenerator, OnlineConfig, OnlineScheduler};
 use wisedb::prelude::*;
 use wisedb_runtime::generate_stream;
 

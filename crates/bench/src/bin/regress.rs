@@ -1,0 +1,283 @@
+//! Hot-path regression harness.
+//!
+//! Runs the three hot-path benches — the A* kernel (one optimal solve per
+//! goal kind), batch scheduling throughput, and the streaming event loop —
+//! writes `BENCH_current.json`, and diffs it against the committed
+//! `crates/bench/BENCH_baseline.json` (see [`wisedb_bench::regress`] for
+//! the comparison semantics: counters exact, times informational unless
+//! `WISEDB_REGRESS_TIME_TOL` is set).
+//!
+//! ```text
+//! WISEDB_SCALE=quick cargo run --release -p wisedb-bench --bin regress
+//! # refresh the committed baseline for the current scale:
+//! cargo run --release -p wisedb-bench --bin regress -- --write-baseline
+//! ```
+//!
+//! Environment:
+//! * `WISEDB_SCALE` — `quick` / `std` (default) / `paper`.
+//! * `WISEDB_REGRESS_TOL` — fractional counter tolerance (default `0`).
+//! * `WISEDB_REGRESS_TIME_TOL` — fractional time tolerance; unset means
+//!   times are reported but never fail the run.
+//! * `WISEDB_BENCH_BASELINE` — baseline path override.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wisedb::advisor::{OnlineConfig, OnlineScheduler};
+use wisedb::prelude::*;
+use wisedb::runtime::generate_stream;
+use wisedb_bench::regress::{
+    diff, render_diff, BaselineFile, BenchReport, Measurement, MetricKind, Tolerances,
+};
+use wisedb_bench::Scale;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Per-goal workload sizes for the A* kernel. Percentile goals carry the
+/// whole latency distribution in the penalty digest, so their graph is far
+/// denser and the size stays smaller.
+fn astar_size(scale: Scale, kind: GoalKind) -> usize {
+    match (scale, kind) {
+        (Scale::Quick, GoalKind::Percentile) => 6,
+        (Scale::Quick, _) => 10,
+        (_, GoalKind::Percentile) => 9,
+        (_, _) => 16,
+    }
+}
+
+fn samples(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3,
+        _ => 5,
+    }
+}
+
+fn astar_kernel(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        let workload = wisedb::sim::generator::uniform_workload(&spec, astar_size(scale, kind), 7);
+        let bench = format!("astar_kernel/{}", kind.name());
+        let mut stats = None;
+        let median = criterion::measure(samples(scale), || {
+            let result = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
+            stats = Some(result.stats);
+            result.cost
+        });
+        let stats = stats.unwrap();
+        out.push(Measurement::new(
+            &bench,
+            "time_ms",
+            ms(median),
+            MetricKind::Time,
+        ));
+        out.push(Measurement::new(
+            &bench,
+            "expanded",
+            stats.expanded as f64,
+            MetricKind::Counter,
+        ));
+        out.push(Measurement::new(
+            &bench,
+            "generated",
+            stats.generated as f64,
+            MetricKind::Counter,
+        ));
+        out.push(Measurement::new(
+            &bench,
+            "interned",
+            stats.interned as f64,
+            MetricKind::Counter,
+        ));
+        eprintln!("  {bench}: {median:?} ({} expanded)", stats.expanded);
+    }
+}
+
+fn batch_throughput(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let model = ModelGenerator::new(
+        spec.clone(),
+        goal.clone(),
+        ModelConfig {
+            num_samples: if scale == Scale::Quick { 60 } else { 120 },
+            sample_size: 9,
+            seed: 0xFACADE,
+            ..ModelConfig::fast()
+        },
+    )
+    .train()
+    .unwrap();
+    let size = if scale == Scale::Quick { 2_000 } else { 10_000 };
+    let workload = wisedb::sim::generator::uniform_workload(&spec, size, 99);
+    let bench = format!("batch_schedule/{size}");
+    let mut vms = 0usize;
+    let median = criterion::measure(samples(scale), || {
+        let schedule = model.schedule_batch(&workload).unwrap();
+        vms = schedule.num_vms();
+        vms
+    });
+    // All time metrics are lower-is-better so one tolerance rule fits;
+    // throughput is derivable as size / time_ms.
+    out.push(Measurement::new(
+        &bench,
+        "time_ms",
+        ms(median),
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "vms",
+        vms as f64,
+        MetricKind::Counter,
+    ));
+    eprintln!("  {bench}: {median:?} ({vms} VMs)");
+}
+
+fn streaming_loop(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let training = ModelConfig {
+        num_samples: 60,
+        sample_size: 9,
+        seed: 0xC0FFEE,
+        ..ModelConfig::fast()
+    };
+    let (model, artifacts) = ModelGenerator::new(spec.clone(), goal, training.clone())
+        .train_with_artifacts()
+        .unwrap();
+    let n = if scale == Scale::Quick { 80 } else { 200 };
+    let mut process = PoissonProcess::per_second(2.0, TemplateMix::uniform(spec.num_templates()));
+    let stream = generate_stream(&mut process, n, 42);
+    let bench = format!("streaming_loop/{n}");
+    let mut last = None;
+    let median = criterion::measure_batched(
+        samples(scale),
+        || {
+            let online = OnlineConfig {
+                training: training.clone(),
+                age_quantum: Millis::from_secs(30),
+                ..OnlineConfig::default()
+            };
+            let scheduler = OnlineScheduler::with_model(model.clone(), artifacts.clone(), online);
+            WorkloadService::with_scheduler(scheduler, RuntimeConfig::default())
+        },
+        |mut svc| {
+            let report = svc.run_stream(&stream).unwrap();
+            last = Some(report.last);
+        },
+    );
+    let snapshot = last.unwrap();
+    out.push(Measurement::new(
+        &bench,
+        "time_ms",
+        ms(median),
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "us_per_arrival",
+        median.as_secs_f64() * 1e6 / n as f64,
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "completed",
+        snapshot.completed as f64,
+        MetricKind::Counter,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "vms_provisioned",
+        snapshot.vms_provisioned as f64,
+        MetricKind::Counter,
+    ));
+    eprintln!(
+        "  {bench}: {median:?} ({} completed, {} VMs)",
+        snapshot.completed, snapshot.vms_provisioned
+    );
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|s| s.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("WISEDB_BENCH_BASELINE").ok())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_baseline.json"));
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_current.json"));
+
+    let scale = Scale::from_env();
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Std => "std",
+        Scale::Paper => "paper",
+    };
+    eprintln!("regress: running hot-path benches at {scale_name} scale");
+
+    let mut measurements = Vec::new();
+    astar_kernel(scale, &mut measurements);
+    batch_throughput(scale, &mut measurements);
+    streaming_loop(scale, &mut measurements);
+    let current = BenchReport {
+        scale: scale_name.to_string(),
+        measurements,
+    };
+
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&current).expect("report serializes"),
+    )
+    .expect("write BENCH_current.json");
+    eprintln!("regress: wrote {}", out_path.display());
+
+    let mut baseline: BaselineFile = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => serde_json::from_str(&text).expect("baseline parses"),
+        Err(_) => BaselineFile::default(),
+    };
+
+    if write_baseline {
+        baseline.upsert(current);
+        std::fs::write(
+            &baseline_path,
+            serde_json::to_string_pretty(&baseline).expect("baseline serializes"),
+        )
+        .expect("write baseline");
+        eprintln!("regress: baseline updated at {}", baseline_path.display());
+        return;
+    }
+
+    let Some(base) = baseline.for_scale(scale_name) else {
+        eprintln!(
+            "regress: no {scale_name}-scale baseline in {} — run with --write-baseline to record one",
+            baseline_path.display()
+        );
+        return;
+    };
+    let tol = Tolerances {
+        counter: env_f64("WISEDB_REGRESS_TOL").unwrap_or(0.0),
+        time: env_f64("WISEDB_REGRESS_TIME_TOL"),
+    };
+    let lines = diff(base, &current, &tol);
+    println!("{}", render_diff(&lines));
+    let regressions = lines.iter().filter(|l| l.is_regression()).count();
+    if regressions > 0 {
+        eprintln!("regress: {regressions} regression(s) vs baseline");
+        std::process::exit(1);
+    }
+    eprintln!("regress: no regressions vs baseline");
+}

@@ -20,6 +20,7 @@ use std::io::Write as _;
 use wisedb_advisor::{ModelConfig, ModelGenerator};
 use wisedb_core::{GoalKind, Money, PerformanceGoal, WorkloadSpec};
 
+pub mod regress;
 pub mod table;
 
 pub use table::Table;

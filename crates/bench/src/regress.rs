@@ -1,0 +1,385 @@
+//! Bench-regression bookkeeping for `wisedb-bench --bin regress`.
+//!
+//! The regress binary measures the three hot paths (A* kernel, batch
+//! scheduling throughput, streaming event loop), writes the results to
+//! `BENCH_current.json`, and diffs them against the committed
+//! `BENCH_baseline.json`. Two metric kinds get different treatment:
+//!
+//! * [`MetricKind::Counter`] — deterministic work counters (A* expansions,
+//!   interned states, VMs rented, retrains). Identical on every machine
+//!   for a fixed scale and seed, so the default tolerance is **zero**: a
+//!   hot-path PR that silently does more work fails the diff.
+//! * [`MetricKind::Time`] — wall-clock medians. Machine-dependent, so they
+//!   are compared only when a tolerance is explicitly configured
+//!   (`WISEDB_REGRESS_TIME_TOL`); otherwise they are reported but not
+//!   enforced. CI therefore enforces counters and archives times.
+
+use serde::{Deserialize, Serialize};
+
+/// How a measurement is compared across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Wall-clock duration (milliseconds); machine-dependent.
+    Time,
+    /// Deterministic work counter; machine-independent at fixed scale.
+    Counter,
+}
+
+/// One recorded metric of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `astar_kernel/Max`.
+    pub bench: String,
+    /// Metric name, e.g. `time_ms` or `expanded`.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// How the value is compared across runs.
+    pub kind: MetricKind,
+}
+
+impl Measurement {
+    /// Convenience constructor.
+    pub fn new(bench: &str, metric: &str, value: f64, kind: MetricKind) -> Self {
+        Measurement {
+            bench: bench.to_string(),
+            metric: metric.to_string(),
+            value,
+            kind,
+        }
+    }
+
+    fn key(&self) -> (String, String) {
+        (self.bench.clone(), self.metric.clone())
+    }
+}
+
+/// Everything one regress run records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// The `WISEDB_SCALE` the run used (`quick` / `std` / `paper`).
+    pub scale: String,
+    /// All measurements, in recording order.
+    pub measurements: Vec<Measurement>,
+}
+
+/// The committed baseline: one report per scale that has been recorded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// Reports keyed by their `scale` field (at most one per scale).
+    pub reports: Vec<BenchReport>,
+}
+
+impl BaselineFile {
+    /// The baseline report for `scale`, if one was recorded.
+    pub fn for_scale(&self, scale: &str) -> Option<&BenchReport> {
+        self.reports.iter().find(|r| r.scale == scale)
+    }
+
+    /// Inserts or replaces the report for its scale.
+    pub fn upsert(&mut self, report: BenchReport) {
+        match self.reports.iter_mut().find(|r| r.scale == report.scale) {
+            Some(slot) => *slot = report,
+            None => self.reports.push(report),
+        }
+    }
+}
+
+/// Relative tolerances for the diff, per metric kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed fractional increase for counters (default 0.0: exact).
+    pub counter: f64,
+    /// Allowed fractional increase for times; `None` disables time
+    /// enforcement (they are still reported).
+    pub time: Option<f64>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            counter: 0.0,
+            time: None,
+        }
+    }
+}
+
+/// One line of the diff between a baseline and a current report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffLine {
+    /// Current value exceeds baseline beyond the tolerance.
+    Regression {
+        /// `bench/metric`.
+        what: String,
+        /// Baseline value.
+        baseline: f64,
+        /// Current value.
+        current: f64,
+        /// Fractional change (`current/baseline - 1`).
+        change: f64,
+    },
+    /// Current value within tolerance (reported for the table).
+    Ok {
+        /// `bench/metric`.
+        what: String,
+        /// Baseline value.
+        baseline: f64,
+        /// Current value.
+        current: f64,
+        /// Fractional change (`current/baseline - 1`).
+        change: f64,
+        /// Whether the change was enforced (counters / time with tol).
+        enforced: bool,
+    },
+    /// Metric exists only in the current report (new bench or metric).
+    New {
+        /// `bench/metric`.
+        what: String,
+        /// Current value.
+        current: f64,
+    },
+    /// Metric exists only in the baseline (bench removed or renamed).
+    Missing {
+        /// `bench/metric`.
+        what: String,
+    },
+}
+
+impl DiffLine {
+    /// Whether this line should fail the run.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, DiffLine::Regression { .. })
+    }
+}
+
+/// Diffs `current` against `baseline` under `tol`. Lines come out in
+/// current-report order, then baseline-only leftovers.
+pub fn diff(baseline: &BenchReport, current: &BenchReport, tol: &Tolerances) -> Vec<DiffLine> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for m in &current.measurements {
+        seen.push(m.key());
+        let base = baseline
+            .measurements
+            .iter()
+            .find(|b| b.bench == m.bench && b.metric == m.metric);
+        let what = format!("{}/{}", m.bench, m.metric);
+        match base {
+            None => out.push(DiffLine::New {
+                what,
+                current: m.value,
+            }),
+            Some(b) => {
+                let change = if b.value.abs() < f64::EPSILON {
+                    if m.value.abs() < f64::EPSILON {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    m.value / b.value - 1.0
+                };
+                let limit = match m.kind {
+                    MetricKind::Counter => Some(tol.counter),
+                    MetricKind::Time => tol.time,
+                };
+                match limit {
+                    // A sliver of absolute slack keeps exact-match counter
+                    // diffs immune to float formatting round-trips.
+                    Some(limit) if change > limit + 1e-9 => out.push(DiffLine::Regression {
+                        what,
+                        baseline: b.value,
+                        current: m.value,
+                        change,
+                    }),
+                    enforced => out.push(DiffLine::Ok {
+                        what,
+                        baseline: b.value,
+                        current: m.value,
+                        change,
+                        enforced: enforced.is_some(),
+                    }),
+                }
+            }
+        }
+    }
+    for b in &baseline.measurements {
+        if !seen.contains(&b.key()) {
+            out.push(DiffLine::Missing {
+                what: format!("{}/{}", b.bench, b.metric),
+            });
+        }
+    }
+    out
+}
+
+/// Renders diff lines as a fixed-width report table.
+pub fn render_diff(lines: &[DiffLine]) -> String {
+    let mut table = crate::Table::new(
+        "regress: current vs baseline",
+        &["bench/metric", "baseline", "current", "Δ%", "status"],
+    );
+    for line in lines {
+        match line {
+            DiffLine::Regression {
+                what,
+                baseline,
+                current,
+                change,
+            } => table.row(&[
+                what.clone(),
+                format!("{baseline:.3}"),
+                format!("{current:.3}"),
+                format!("{:+.1}", change * 100.0),
+                "REGRESSION".to_string(),
+            ]),
+            DiffLine::Ok {
+                what,
+                baseline,
+                current,
+                change,
+                enforced,
+            } => table.row(&[
+                what.clone(),
+                format!("{baseline:.3}"),
+                format!("{current:.3}"),
+                format!("{:+.1}", change * 100.0),
+                if *enforced { "ok" } else { "info" }.to_string(),
+            ]),
+            DiffLine::New { what, current } => table.row(&[
+                what.clone(),
+                "-".to_string(),
+                format!("{current:.3}"),
+                "-".to_string(),
+                "new".to_string(),
+            ]),
+            DiffLine::Missing { what } => table.row(&[
+                what.clone(),
+                "?".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "missing".to_string(),
+            ]),
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scale: &str, ms: &[(&str, &str, f64, MetricKind)]) -> BenchReport {
+        BenchReport {
+            scale: scale.to_string(),
+            measurements: ms
+                .iter()
+                .map(|&(b, m, v, k)| Measurement::new(b, m, v, k))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counters_are_exact_by_default() {
+        let base = report(
+            "quick",
+            &[("astar/Max", "expanded", 100.0, MetricKind::Counter)],
+        );
+        let same = report(
+            "quick",
+            &[("astar/Max", "expanded", 100.0, MetricKind::Counter)],
+        );
+        let worse = report(
+            "quick",
+            &[("astar/Max", "expanded", 101.0, MetricKind::Counter)],
+        );
+        let better = report(
+            "quick",
+            &[("astar/Max", "expanded", 90.0, MetricKind::Counter)],
+        );
+        let tol = Tolerances::default();
+        assert!(!diff(&base, &same, &tol).iter().any(DiffLine::is_regression));
+        assert!(diff(&base, &worse, &tol)
+            .iter()
+            .any(DiffLine::is_regression));
+        assert!(!diff(&base, &better, &tol)
+            .iter()
+            .any(DiffLine::is_regression));
+    }
+
+    #[test]
+    fn counter_tolerance_is_configurable() {
+        let base = report("quick", &[("b", "expanded", 100.0, MetricKind::Counter)]);
+        let worse = report("quick", &[("b", "expanded", 104.0, MetricKind::Counter)]);
+        let tol = Tolerances {
+            counter: 0.05,
+            time: None,
+        };
+        assert!(!diff(&base, &worse, &tol)
+            .iter()
+            .any(DiffLine::is_regression));
+    }
+
+    #[test]
+    fn times_are_informational_unless_tolerance_set() {
+        let base = report("quick", &[("b", "time_ms", 10.0, MetricKind::Time)]);
+        let slower = report("quick", &[("b", "time_ms", 30.0, MetricKind::Time)]);
+        assert!(!diff(&base, &slower, &Tolerances::default())
+            .iter()
+            .any(DiffLine::is_regression));
+        let tol = Tolerances {
+            counter: 0.0,
+            time: Some(0.5),
+        };
+        assert!(diff(&base, &slower, &tol)
+            .iter()
+            .any(DiffLine::is_regression));
+        // Within the 50% envelope: fine.
+        let ok = report("quick", &[("b", "time_ms", 14.0, MetricKind::Time)]);
+        assert!(!diff(&base, &ok, &tol).iter().any(DiffLine::is_regression));
+    }
+
+    #[test]
+    fn new_and_missing_metrics_do_not_fail() {
+        let base = report("quick", &[("old", "expanded", 1.0, MetricKind::Counter)]);
+        let cur = report("quick", &[("new", "expanded", 2.0, MetricKind::Counter)]);
+        let lines = diff(&base, &cur, &Tolerances::default());
+        assert!(lines.iter().any(|l| matches!(l, DiffLine::New { .. })));
+        assert!(lines.iter().any(|l| matches!(l, DiffLine::Missing { .. })));
+        assert!(!lines.iter().any(DiffLine::is_regression));
+    }
+
+    #[test]
+    fn baseline_file_round_trips_through_json() {
+        let mut file = BaselineFile::default();
+        file.upsert(report(
+            "quick",
+            &[("astar/Max", "expanded", 123.0, MetricKind::Counter)],
+        ));
+        file.upsert(report(
+            "std",
+            &[("astar/Max", "time_ms", 4.5, MetricKind::Time)],
+        ));
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: BaselineFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
+        assert!(back.for_scale("quick").is_some());
+        assert!(back.for_scale("paper").is_none());
+        // Upsert replaces in place.
+        file.upsert(report(
+            "quick",
+            &[("astar/Max", "expanded", 99.0, MetricKind::Counter)],
+        ));
+        assert_eq!(file.reports.len(), 2);
+        assert_eq!(file.for_scale("quick").unwrap().measurements[0].value, 99.0);
+    }
+
+    #[test]
+    fn render_diff_flags_regressions() {
+        let base = report("quick", &[("b", "expanded", 100.0, MetricKind::Counter)]);
+        let cur = report("quick", &[("b", "expanded", 120.0, MetricKind::Counter)]);
+        let text = render_diff(&diff(&base, &cur, &Tolerances::default()));
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("+20.0"));
+    }
+}

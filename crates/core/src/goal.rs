@@ -14,6 +14,8 @@
 //! *linearly shiftable* (delaying all queries by `n` equals tightening the
 //! goal by `n` — enables the online Shift optimization of §6.3.1).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, CoreResult};
@@ -220,7 +222,7 @@ impl PerformanceGoal {
                 count: 0,
             },
             PerformanceGoal::Percentile { .. } => PenaltyTracker::Percentile {
-                sorted_ms: Vec::new(),
+                sorted_ms: Arc::new(Vec::new()),
             },
         }
     }
@@ -330,10 +332,13 @@ pub enum PenaltyTracker {
         /// Number of completions.
         count: u64,
     },
-    /// Percentile goals need the whole latency distribution.
+    /// Percentile goals need the whole latency distribution. The vector is
+    /// behind an [`Arc`] with copy-on-write pushes, so cloning a tracker —
+    /// which A* does for every partial-schedule vertex — shares the
+    /// distribution instead of copying it.
     Percentile {
         /// Completion latencies in ascending order, in milliseconds.
-        sorted_ms: Vec<u64>,
+        sorted_ms: Arc<Vec<u64>>,
     },
 }
 
@@ -380,8 +385,11 @@ impl PenaltyTracker {
             (this @ PenaltyTracker::Percentile { .. }, PerformanceGoal::Percentile { .. }) => {
                 if let PenaltyTracker::Percentile { sorted_ms } = this {
                     let ms = completion.as_millis();
-                    let pos = sorted_ms.partition_point(|&x| x <= ms);
-                    sorted_ms.insert(pos, ms);
+                    // Copy-on-write: only materializes a copy when the
+                    // distribution is shared with another tracker.
+                    let sorted = Arc::make_mut(sorted_ms);
+                    let pos = sorted.partition_point(|&x| x <= ms);
+                    sorted.insert(pos, ms);
                 }
                 this.penalty(goal) - before
             }
@@ -440,8 +448,10 @@ impl PenaltyTracker {
                 sum_ms: *sum_ms,
                 count: *count,
             },
+            // An Arc bump, not a copy of the distribution: keying a search
+            // vertex is O(1) even for percentile goals.
             PenaltyTracker::Percentile { sorted_ms } => {
-                PenaltyDigest::Percentile(sorted_ms.clone())
+                PenaltyDigest::Percentile(Arc::clone(sorted_ms))
             }
         }
     }
@@ -460,8 +470,9 @@ pub enum PenaltyDigest {
         /// Number of completions.
         count: u64,
     },
-    /// Full latency distribution (ms, ascending).
-    Percentile(Vec<u64>),
+    /// Full latency distribution (ms, ascending), shared with the tracker
+    /// that produced it. `Hash`/`Eq` go through the contents.
+    Percentile(Arc<Vec<u64>>),
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Cheap shared handles for the two objects every layer passes around.
+//!
+//! A [`WorkloadSpec`] owns per-template latency tables and a
+//! [`PerformanceGoal`] can own a deadline vector; both used to be deep-
+//! cloned on every model training run, every aged online batch, and every
+//! runtime component hand-off. [`SpecHandle`] and [`GoalHandle`] wrap them
+//! in an [`Arc`] so that sharing is a pointer bump: the search, advisor,
+//! sim, and runtime layers all hold *views* of one immutable spec/goal.
+//!
+//! Both types [`Deref`] to their inner value, so `&SpecHandle` coerces to
+//! `&WorkloadSpec` at call sites, and both serialize exactly like the
+//! wrapped value (the `Arc` is invisible on the wire).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+use crate::goal::PerformanceGoal;
+use crate::spec::WorkloadSpec;
+
+macro_rules! handle {
+    ($(#[$doc:meta])* $name:ident => $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name(Arc<$inner>);
+
+        impl $name {
+            /// Wraps a value in a shared handle.
+            pub fn new(inner: $inner) -> Self {
+                $name(Arc::new(inner))
+            }
+
+            /// Whether two handles share the same allocation (an O(1)
+            /// stand-in for deep equality when both came from one source).
+            pub fn ptr_eq(&self, other: &Self) -> bool {
+                Arc::ptr_eq(&self.0, &other.0)
+            }
+        }
+
+        impl Deref for $name {
+            type Target = $inner;
+            fn deref(&self) -> &$inner {
+                &self.0
+            }
+        }
+
+        impl AsRef<$inner> for $name {
+            fn as_ref(&self) -> &$inner {
+                &self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(inner: $inner) -> Self {
+                $name::new(inner)
+            }
+        }
+
+        impl From<&$name> for $name {
+            fn from(handle: &$name) -> Self {
+                handle.clone()
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.ptr_eq(other) || *self.0 == *other.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+
+        impl Serialize for $name {
+            fn to_value(&self) -> Value {
+                self.0.to_value()
+            }
+        }
+
+        impl Deserialize for $name {
+            fn from_value(v: &Value) -> Result<Self, SerdeError> {
+                <$inner>::from_value(v).map($name::new)
+            }
+        }
+    };
+}
+
+handle! {
+    /// A shared, immutable [`WorkloadSpec`]: clone freely, it is an `Arc`.
+    SpecHandle => WorkloadSpec
+}
+
+handle! {
+    /// A shared, immutable [`PerformanceGoal`]: clone freely, it is an
+    /// `Arc`.
+    GoalHandle => PerformanceGoal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::PenaltyRate;
+    use crate::time::Millis;
+    use crate::vm::VmType;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let handle = SpecHandle::new(spec());
+        let copy = handle.clone();
+        assert!(handle.ptr_eq(&copy));
+        assert_eq!(handle, copy);
+        // Deref reaches the inner spec.
+        assert_eq!(copy.num_templates(), 2);
+    }
+
+    #[test]
+    fn equality_falls_back_to_contents() {
+        let a = SpecHandle::new(spec());
+        let b = SpecHandle::new(spec());
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serializes_transparently() {
+        let handle = GoalHandle::new(PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(5),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        });
+        let json = serde_json::to_string(&handle).unwrap();
+        // Identical wire format to the bare goal.
+        let bare = serde_json::to_string(&*handle).unwrap();
+        assert_eq!(json, bare);
+        let back: GoalHandle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, handle);
+    }
+
+    #[test]
+    fn into_conversions() {
+        let handle: SpecHandle = spec().into();
+        let again: SpecHandle = (&handle).into();
+        assert!(handle.ptr_eq(&again));
+    }
+}

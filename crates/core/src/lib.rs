@@ -12,6 +12,8 @@
 //!   fees and hourly rates (§3).
 //! * [`WorkloadSpec`] — the application's workload specification: templates
 //!   plus VM types.
+//! * [`SpecHandle`] / [`GoalHandle`] — cheap `Arc`-backed shared views of a
+//!   spec/goal, what the advisor and runtime layers pass around.
 //! * [`Workload`] / [`Query`] — batches of template instances.
 //! * [`Schedule`] — provisioned VMs with ordered query queues; the object
 //!   WiSeDB ultimately produces.
@@ -27,6 +29,7 @@
 pub mod cost;
 pub mod error;
 pub mod goal;
+pub mod handle;
 pub mod money;
 pub mod schedule;
 pub mod spec;
@@ -39,6 +42,7 @@ pub mod workload;
 pub use cost::{cost_breakdown, total_cost, CostBreakdown};
 pub use error::{CoreError, CoreResult};
 pub use goal::{GoalKind, PenaltyDigest, PenaltyTracker, PerformanceGoal};
+pub use handle::{GoalHandle, SpecHandle};
 pub use money::{Money, PenaltyRate};
 pub use schedule::{Placement, QueryLatency, Schedule, VmInstance};
 pub use spec::WorkloadSpec;

@@ -6,14 +6,14 @@
 //! violation rate, spend rate, fleet size, and scheduler decision latency.
 
 use wisedb_core::{
-    LatencySummary, MetricsSnapshot, Millis, Money, PenaltyTracker, PerformanceGoal, TemplateId,
+    GoalHandle, LatencySummary, MetricsSnapshot, Millis, Money, PenaltyTracker, TemplateId,
 };
 use wisedb_sim::Completion;
 
 /// Accumulates per-query outcomes and scheduler timings.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
-    goal: PerformanceGoal,
+    goal: GoalHandle,
     penalty: PenaltyTracker,
     admitted: u64,
     rejected: u64,
@@ -24,8 +24,10 @@ pub struct MetricsCollector {
 }
 
 impl MetricsCollector {
-    /// A collector judging violations and penalties under `goal`.
-    pub fn new(goal: PerformanceGoal) -> Self {
+    /// A collector judging violations and penalties under `goal` (owned or
+    /// a shared handle).
+    pub fn new(goal: impl Into<GoalHandle>) -> Self {
+        let goal = goal.into();
         let penalty = goal.new_tracker();
         MetricsCollector {
             goal,
@@ -138,7 +140,7 @@ impl MetricsCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wisedb_core::{PenaltyRate, QueryId};
+    use wisedb_core::{PenaltyRate, PerformanceGoal, QueryId};
 
     fn goal() -> PerformanceGoal {
         PerformanceGoal::MaxLatency {

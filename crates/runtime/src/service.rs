@@ -25,8 +25,8 @@ use wisedb_advisor::online::{
     ClusterView, OnlineConfig, OnlineScheduler, PendingArrival, PlannedStep,
 };
 use wisedb_core::{
-    ArrivingQuery, CoreResult, MetricsSnapshot, Millis, PerformanceGoal, QueryId, TemplateId,
-    WorkloadSpec,
+    ArrivingQuery, CoreResult, GoalHandle, MetricsSnapshot, Millis, QueryId, SpecHandle,
+    TemplateId, WorkloadSpec,
 };
 use wisedb_sim::{Completion, LiveCluster, LiveOptions};
 
@@ -88,19 +88,21 @@ pub struct WorkloadService {
 
 impl WorkloadService {
     /// Trains a base model for `(spec, goal)` and opens the service.
+    /// Accepts owned values or shared handles; either way the scheduler,
+    /// cluster, and metrics layers end up sharing one spec/goal allocation.
     pub fn train(
-        spec: WorkloadSpec,
-        goal: PerformanceGoal,
+        spec: impl Into<SpecHandle>,
+        goal: impl Into<GoalHandle>,
         config: RuntimeConfig,
     ) -> CoreResult<Self> {
-        let scheduler = OnlineScheduler::train(spec.clone(), goal.clone(), config.online.clone())?;
+        let scheduler = OnlineScheduler::train(spec, goal, config.online.clone())?;
         Ok(Self::with_scheduler(scheduler, config))
     }
 
     /// Opens the service around an already-trained scheduler.
     pub fn with_scheduler(scheduler: OnlineScheduler, config: RuntimeConfig) -> Self {
-        let spec = scheduler.base_model().spec().clone();
-        let goal = scheduler.base_model().goal().clone();
+        let spec: SpecHandle = scheduler.base_model().spec_handle().clone();
+        let goal: GoalHandle = scheduler.base_model().goal_handle().clone();
         WorkloadService {
             scheduler,
             cluster: LiveCluster::new(spec, config.cluster.clone()),
@@ -292,7 +294,7 @@ mod tests {
     use super::*;
     use crate::arrivals::{generate_stream, PoissonProcess, TemplateMix};
     use wisedb_advisor::ModelConfig;
-    use wisedb_core::{GoalKind, Money, VmType};
+    use wisedb_core::{GoalKind, Money, PerformanceGoal, VmType};
 
     fn spec() -> WorkloadSpec {
         WorkloadSpec::single_vm(

@@ -74,10 +74,7 @@ impl AdaptiveSearcher {
                 if h <= 0.0 {
                     continue;
                 }
-                let entry = self.memo.entry(key).or_insert(f64::NEG_INFINITY);
-                if h > *entry {
-                    *entry = h;
-                }
+                self.memo.raise(key, h);
             }
         }
         Ok(result)

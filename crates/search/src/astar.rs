@@ -10,8 +10,20 @@
 //! a non-empty previous VM, the graph is a finite DAG and the search always
 //! terminates. With an admissible heuristic, the first goal vertex *popped*
 //! is optimal even when the heuristic is inconsistent.
+//!
+//! ## Interned hot path
+//!
+//! Every distinct vertex is interned to a dense `u32` id on first sight, so
+//! the per-expansion tables — best-known g, the cached heuristic value, and
+//! the explored set — are flat `Vec`s indexed by id rather than hash maps
+//! keyed by deep [`StateKey`]s. Combined with the structural sharing inside
+//! [`SearchState`] (persistent queues, copy-on-write counts and penalty
+//! distributions), expanding a node costs one key hash and O(successors)
+//! small allocations instead of deep clones of the whole vertex. The
+//! [`SearchStats::interned`] counter exposes the dedup-table size.
 
 use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
 use wisedb_core::{
@@ -52,6 +64,10 @@ pub struct SearchStats {
     pub generated: u64,
     /// Times a better path to an already-seen vertex was found.
     pub reopened: u64,
+    /// Distinct vertices interned (allocated a dense id / key entry) during
+    /// the search — the size of the dedup table, and the unit the interning
+    /// refactor's allocation savings scale with.
+    pub interned: u64,
     /// Whether the result is provably optimal (node limit not hit).
     pub optimal: bool,
 }
@@ -94,13 +110,94 @@ pub struct Plan {
 }
 
 /// Extra per-vertex heuristic values (in dollars) layered on top of the base
-/// heuristic — the mechanism behind adaptive A* (§5).
-pub type HeuristicMemo = HashMap<StateKey, f64>;
+/// heuristic — the mechanism behind adaptive A* (§5). Keys are Arc-backed
+/// [`StateKey`]s, so storing one is reference bumps; the searcher consults
+/// the memo at most once per *distinct* vertex (the per-id `h` cache
+/// remembers the combined value for every regeneration).
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicMemo {
+    values: HashMap<StateKey, f64>,
+}
+
+impl HeuristicMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        HeuristicMemo::default()
+    }
+
+    /// Number of vertices with reuse information.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the memo holds no reuse information.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The memoized heuristic for `key`, if any.
+    pub fn get(&self, key: &StateKey) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+
+    /// Records `h` for `key`, keeping the maximum of all observations
+    /// (`max(h, h')` stays admissible when each input is).
+    pub fn raise(&mut self, key: StateKey, h: f64) {
+        let slot = self.values.entry(key).or_insert(f64::NEG_INFINITY);
+        if h > *slot {
+            *slot = h;
+        }
+    }
+}
+
+/// The g-values of every settled vertex of one search, in settle order —
+/// what [`crate::adaptive::AdaptiveSearcher`] folds into its memo.
+pub type ExploredStates = Vec<(StateKey, f64)>;
+
+/// Dense state-id interner: each distinct [`StateKey`] gets a `u32` on
+/// first sight. Keys are Arc-backed, so storing them twice (map + by-id
+/// vector) costs reference bumps, not vector copies.
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<StateKey, u32>,
+    keys: Vec<StateKey>,
+}
+
+impl Interner {
+    /// Returns the id for `key`, allocating one if unseen.
+    fn intern(&mut self, key: StateKey) -> u32 {
+        let Interner { ids, keys } = self;
+        match ids.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = keys.len() as u32;
+                keys.push(e.key().clone());
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Grows `table` with `fill` so that `id` is addressable.
+fn ensure_slot(table: &mut Vec<f64>, id: u32, fill: f64) -> &mut f64 {
+    let idx = id as usize;
+    if table.len() <= idx {
+        table.resize(idx + 1, fill);
+    }
+    &mut table[idx]
+}
 
 struct Node {
     state: SearchState,
     parent: Option<usize>,
     decision: Option<Decision>,
+    /// Interned id of `state`'s key.
+    sid: u32,
 }
 
 struct HeapEntry {
@@ -182,7 +279,7 @@ impl<'a> AStarSearcher<'a> {
         }
         let base = self.table.estimate(self.goal, state).as_dollars();
         match self.memo.and_then(|m| m.get(key)) {
-            Some(&extra) => base.max(extra),
+            Some(extra) => base.max(extra),
             None => base,
         }
     }
@@ -205,7 +302,7 @@ impl<'a> AStarSearcher<'a> {
     pub fn solve_with_explored(
         &self,
         workload: &Workload,
-    ) -> CoreResult<(OptimalSchedule, HashMap<StateKey, f64>)> {
+    ) -> CoreResult<(OptimalSchedule, ExploredStates)> {
         workload.validate_against(self.spec)?;
         let counts: Vec<u16> = workload
             .template_counts(self.spec.num_templates())
@@ -236,7 +333,7 @@ impl<'a> AStarSearcher<'a> {
         &self,
         counts: &[u16],
         keep_explored: bool,
-    ) -> CoreResult<(RawResult, HashMap<StateKey, f64>)> {
+    ) -> CoreResult<(RawResult, ExploredStates)> {
         let initial = SearchState::initial(counts.to_vec(), self.goal);
         self.solve_state_with_explored(initial, keep_explored)
     }
@@ -245,7 +342,7 @@ impl<'a> AStarSearcher<'a> {
         &self,
         initial: SearchState,
         keep_explored: bool,
-    ) -> CoreResult<(RawResult, HashMap<StateKey, f64>)> {
+    ) -> CoreResult<(RawResult, ExploredStates)> {
         let nt = self.spec.num_templates();
         let mut stats = SearchStats {
             optimal: true,
@@ -259,22 +356,29 @@ impl<'a> AStarSearcher<'a> {
                     cost: Money::ZERO,
                     stats,
                 },
-                HashMap::new(),
+                Vec::new(),
             ));
         }
 
         let mut arena: Vec<Node> = Vec::with_capacity(1024);
-        let mut best_g: HashMap<StateKey, f64> = HashMap::new();
-        let mut explored: HashMap<StateKey, f64> = HashMap::new();
+        let mut interner = Interner::default();
+        // All three per-vertex tables are flat and id-indexed.
+        let mut best_g: Vec<f64> = Vec::with_capacity(1024);
+        let mut h_cache: Vec<f64> = Vec::with_capacity(1024);
+        // Settle-order g per id (last write wins on reopening); ids double
+        // as the index, so no hashing on the expansion path.
+        let mut explored_g: Vec<f64> = Vec::new();
         let mut open = BinaryHeap::new();
 
-        let initial_key = initial.key(nt);
-        let h0 = self.h(&initial, &initial_key);
-        best_g.insert(initial_key, 0.0);
+        let sid0 = interner.intern(initial.key(nt));
+        let h0 = self.h(&initial, &interner.keys[sid0 as usize]);
+        *ensure_slot(&mut best_g, sid0, f64::INFINITY) = 0.0;
+        *ensure_slot(&mut h_cache, sid0, f64::NAN) = h0;
         arena.push(Node {
             state: initial.clone(),
             parent: None,
             decision: None,
+            sid: sid0,
         });
         open.push(HeapEntry {
             f: h0,
@@ -291,36 +395,39 @@ impl<'a> AStarSearcher<'a> {
         let mut incumbent: Option<(usize, f64)> = None;
 
         while let Some(entry) = open.pop() {
+            // Cheap clone (reference bumps): lets the arena grow while the
+            // popped state's successors are generated.
             let node_state = arena[entry.idx].state.clone();
-            let key = node_state.key(nt);
-            match best_g.get(&key) {
-                Some(&g) if entry.g > g + G_EPS => continue, // stale entry
-                _ => {}
+            let sid = arena[entry.idx].sid;
+            if entry.g > best_g[sid as usize] + G_EPS {
+                continue; // stale entry
             }
 
             if node_state.is_goal() {
                 let steps = reconstruct(&arena, entry.idx);
                 stats.expanded += 1;
+                stats.interned = interner.len() as u64;
                 return Ok((
                     RawResult {
                         steps,
                         cost: Money::from_dollars(entry.g),
                         stats,
                     },
-                    explored,
+                    finish_explored(interner, explored_g),
                 ));
             }
 
             stats.expanded += 1;
             if keep_explored {
-                explored.insert(key, entry.g);
+                *ensure_slot(&mut explored_g, sid, f64::NAN) = entry.g;
             }
 
             if stats.expanded as usize >= self.config.node_limit {
                 stats.optimal = false;
+                stats.interned = interner.len() as u64;
                 return Ok((
                     self.fallback_result(&arena, incumbent, &initial, stats),
-                    explored,
+                    finish_explored(interner, explored_g),
                 ));
             }
 
@@ -335,14 +442,23 @@ impl<'a> AStarSearcher<'a> {
                 };
                 stats.generated += 1;
                 let g2 = entry.g + weight.as_dollars();
-                let key2 = next.key(nt);
-                match best_g.get(&key2) {
-                    Some(&g) if g2 >= g - G_EPS => continue,
-                    Some(_) => stats.reopened += 1,
-                    None => {}
+                let sid2 = interner.intern(next.key(nt));
+                let known_g = ensure_slot(&mut best_g, sid2, f64::INFINITY);
+                if known_g.is_finite() {
+                    if g2 >= *known_g - G_EPS {
+                        continue;
+                    }
+                    stats.reopened += 1;
                 }
-                best_g.insert(key2.clone(), g2);
-                let h2 = self.h(&next, &key2);
+                *known_g = g2;
+                let h_slot = ensure_slot(&mut h_cache, sid2, f64::NAN);
+                let h2 = if h_slot.is_nan() {
+                    let h = self.h(&next, &interner.keys[sid2 as usize]);
+                    *h_slot = h;
+                    h
+                } else {
+                    *h_slot
+                };
                 if g2 + h2 > upper_bound {
                     continue;
                 }
@@ -351,6 +467,7 @@ impl<'a> AStarSearcher<'a> {
                     state: next,
                     parent: Some(entry.idx),
                     decision: Some(decision),
+                    sid: sid2,
                 });
                 let idx = arena.len() - 1;
                 if is_goal {
@@ -371,9 +488,10 @@ impl<'a> AStarSearcher<'a> {
         // complete schedule exists, which spec validation rules out — but
         // return the incumbent defensively.
         stats.optimal = false;
+        stats.interned = interner.len() as u64;
         Ok((
             self.fallback_result(&arena, incumbent, &initial, stats),
-            explored,
+            finish_explored(interner, explored_g),
         ))
     }
 
@@ -462,6 +580,17 @@ struct RawResult {
     steps: Vec<DecisionStep>,
     cost: Money,
     stats: SearchStats,
+}
+
+/// Converts the id-indexed settle table back to keyed pairs, in id order.
+/// Keys come out of the interner by reference bump, not by copy.
+fn finish_explored(interner: Interner, explored_g: Vec<f64>) -> ExploredStates {
+    explored_g
+        .into_iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_nan())
+        .map(|(id, g)| (interner.keys[id].clone(), g))
+        .collect()
 }
 
 fn reconstruct(arena: &[Node], goal_idx: usize) -> Vec<DecisionStep> {

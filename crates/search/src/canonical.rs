@@ -92,7 +92,7 @@ impl CanonicalOrder {
         if last.queue.len() <= last.seeded {
             return true;
         }
-        let Some(&prev) = last.queue.last() else {
+        let Some(prev) = last.queue.last() else {
             return true;
         };
         let ranks = &self.rank[last.vm_type.index()];

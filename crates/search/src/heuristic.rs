@@ -296,7 +296,7 @@ impl HeuristicTable {
                 },
                 PenaltyTracker::Percentile { sorted_ms },
             ) => {
-                let mut merged: Vec<u64> = sorted_ms.clone();
+                let mut merged: Vec<u64> = sorted_ms.as_slice().to_vec();
                 for (t, &remaining) in state.unassigned.iter().enumerate() {
                     for _ in 0..remaining {
                         merged.push(self.min_exec[t].as_millis());

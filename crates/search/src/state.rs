@@ -7,6 +7,18 @@
 //! composition (everything older is immutable and its cost already paid on
 //! the path) plus whatever the performance goal needs to price future
 //! placements (the [`PenaltyTracker`]).
+//!
+//! States are built for structural sharing: the open VM's queue is a
+//! persistent stack whose tail is shared between parent and child vertices,
+//! the unassigned counts sit behind a copy-on-write [`Arc`], and the
+//! penalty tracker's heavy variant (percentile distributions) is
+//! copy-on-write inside [`wisedb_core`]. Cloning a [`SearchState`] — which
+//! A* does on every node expansion — is therefore a handful of reference
+//! bumps, and [`SearchState::key`] produces a hashable identity without
+//! copying any of the underlying vectors.
+
+use std::fmt;
+use std::sync::Arc;
 
 use wisedb_core::{
     Millis, Money, PenaltyDigest, PenaltyTracker, PerformanceGoal, TemplateId, VmTypeId,
@@ -15,13 +27,119 @@ use wisedb_core::{
 
 use crate::decision::Decision;
 
+/// A persistent stack of template placements: pushing shares the entire
+/// existing queue with the parent state instead of copying it, which is
+/// what makes child-vertex generation allocation-light (one small node per
+/// placement, ever, instead of one `Vec` copy per generated state).
+///
+/// Iteration order is newest-first (a stack); [`TemplateStack::to_vec`]
+/// returns placement order for display and tests. Only the queue's length,
+/// last element, and per-template counts are semantically meaningful to
+/// the search — none of those depend on walking the queue forwards.
+#[derive(Clone, Default)]
+pub struct TemplateStack {
+    head: Option<Arc<StackNode>>,
+    len: usize,
+}
+
+struct StackNode {
+    template: TemplateId,
+    prev: Option<Arc<StackNode>>,
+}
+
+impl TemplateStack {
+    /// The empty queue.
+    pub fn new() -> Self {
+        TemplateStack::default()
+    }
+
+    /// Builds a queue holding `templates` in placement order.
+    pub fn from_slice(templates: &[TemplateId]) -> Self {
+        let mut stack = TemplateStack::new();
+        for &t in templates {
+            stack.push(t);
+        }
+        stack
+    }
+
+    /// Appends a placement. O(1); the previous queue is shared, not copied.
+    pub fn push(&mut self, template: TemplateId) {
+        self.head = Some(Arc::new(StackNode {
+            template,
+            prev: self.head.take(),
+        }));
+        self.len += 1;
+    }
+
+    /// The most recent placement.
+    pub fn last(&self) -> Option<TemplateId> {
+        self.head.as_ref().map(|n| n.template)
+    }
+
+    /// Number of queued placements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates newest-to-oldest.
+    pub fn iter(&self) -> impl Iterator<Item = TemplateId> + '_ {
+        std::iter::successors(self.head.as_deref(), |n| n.prev.as_deref()).map(|n| n.template)
+    }
+
+    /// Per-template counts, sized to `num_templates`.
+    pub fn counts(&self, num_templates: usize) -> Vec<u16> {
+        let mut counts = vec![0u16; num_templates];
+        for t in self.iter() {
+            if let Some(c) = counts.get_mut(t.index()) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// The queue in placement (oldest-first) order.
+    pub fn to_vec(&self) -> Vec<TemplateId> {
+        let mut v: Vec<TemplateId> = self.iter().collect();
+        v.reverse();
+        v
+    }
+}
+
+impl PartialEq for TemplateStack {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl fmt::Debug for TemplateStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+impl FromIterator<TemplateId> for TemplateStack {
+    fn from_iter<I: IntoIterator<Item = TemplateId>>(iter: I) -> Self {
+        let mut stack = TemplateStack::new();
+        for t in iter {
+            stack.push(t);
+        }
+        stack
+    }
+}
+
 /// The most recently rented VM within a partial schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LastVm {
     /// Its VM type.
     pub vm_type: VmTypeId,
-    /// Templates queued on it, in placement order.
-    pub queue: Vec<TemplateId>,
+    /// Templates queued on it, in placement order (persistent: children
+    /// share the parent's queue).
+    pub queue: TemplateStack,
     /// Total execution time of the queue — the *wait time* a newly placed
     /// query would experience (the `wait-time` feature of §4.4).
     pub wait: Millis,
@@ -36,7 +154,7 @@ impl LastVm {
     fn new(vm_type: VmTypeId) -> Self {
         LastVm {
             vm_type,
-            queue: Vec::new(),
+            queue: TemplateStack::new(),
             wait: Millis::ZERO,
             seeded: 0,
         }
@@ -48,7 +166,7 @@ impl LastVm {
         let seeded = queue.len();
         LastVm {
             vm_type,
-            queue,
+            queue: TemplateStack::from_slice(&queue),
             wait,
             seeded,
         }
@@ -56,21 +174,17 @@ impl LastVm {
 
     /// Per-template counts of the queue, sized to `num_templates`.
     pub fn queue_counts(&self, num_templates: usize) -> Vec<u16> {
-        let mut counts = vec![0u16; num_templates];
-        for t in &self.queue {
-            if let Some(c) = counts.get_mut(t.index()) {
-                *c += 1;
-            }
-        }
-        counts
+        self.queue.counts(num_templates)
     }
 }
 
-/// A vertex of the (reduced) scheduling graph.
+/// A vertex of the (reduced) scheduling graph. Cloning is cheap — see the
+/// module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchState {
-    /// Unassigned instance count per template (`v_u`).
-    pub unassigned: Vec<u16>,
+    /// Unassigned instance count per template (`v_u`), copy-on-write:
+    /// renting a VM shares it wholesale, placing a query copies it once.
+    pub unassigned: Arc<Vec<u16>>,
     /// The most recently rented VM, if any. `None` only at the start vertex.
     pub last_vm: Option<LastVm>,
     /// Incremental penalty state for the goal.
@@ -83,7 +197,7 @@ impl SearchState {
     /// The start vertex: everything unassigned, nothing rented.
     pub fn initial(unassigned: Vec<u16>, goal: &PerformanceGoal) -> Self {
         SearchState {
-            unassigned,
+            unassigned: Arc::new(unassigned),
             last_vm: None,
             tracker: goal.new_tracker(),
             vms_rented: 0,
@@ -183,7 +297,7 @@ impl SearchState {
                 last.queue.push(t);
                 last.wait += exec;
                 let completion = last.wait;
-                next.unassigned[t.index()] -= 1;
+                Arc::make_mut(&mut next.unassigned)[t.index()] -= 1;
                 let delta = next.tracker.push(goal, t, completion);
                 runtime + delta
             }
@@ -234,10 +348,13 @@ impl SearchState {
     /// composition merges the exponentially many ways of reaching the same
     /// backlog — the difference between 30-query searches finishing in
     /// thousands of expansions versus millions.
+    ///
+    /// Keys are built from shared references (counts `Arc`, digest `Arc`),
+    /// so constructing and cloning one never copies a vector.
     pub fn key(&self, num_templates: usize) -> StateKey {
         let _ = num_templates;
         StateKey {
-            unassigned: self.unassigned.clone(),
+            unassigned: Arc::clone(&self.unassigned),
             last_vm: self
                 .last_vm
                 .as_ref()
@@ -248,9 +365,11 @@ impl SearchState {
 }
 
 /// Hashable identity of a search vertex; see [`SearchState::key`].
+/// Clones are reference bumps — the A* interner stores one per distinct
+/// vertex and hands out dense `u32` ids for everything else.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StateKey {
-    unassigned: Vec<u16>,
+    unassigned: Arc<Vec<u16>>,
     last_vm: Option<(u32, u64, Option<u32>)>,
     digest: PenaltyDigest,
 }
@@ -273,6 +392,30 @@ mod tests {
             deadlines: vec![Millis::from_mins(3), Millis::from_mins(1)],
             rate: PenaltyRate::CENT_PER_SECOND,
         }
+    }
+
+    #[test]
+    fn template_stack_shares_and_tracks() {
+        let mut a = TemplateStack::new();
+        assert!(a.is_empty());
+        a.push(TemplateId(0));
+        a.push(TemplateId(1));
+        let mut b = a.clone(); // shares both nodes
+        b.push(TemplateId(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.last(), Some(TemplateId(1)));
+        assert_eq!(b.last(), Some(TemplateId(2)));
+        assert_eq!(
+            b.to_vec(),
+            vec![TemplateId(0), TemplateId(1), TemplateId(2)]
+        );
+        assert_eq!(b.counts(3), vec![1, 1, 1]);
+        assert_eq!(
+            a,
+            TemplateStack::from_slice(&[TemplateId(0), TemplateId(1)])
+        );
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -310,7 +453,7 @@ mod tests {
         assert!(w.approx_eq(Money::from_dollars(0.052 * 2.0 / 60.0), 1e-9));
         let last = s.last_vm.as_ref().unwrap();
         assert_eq!(last.wait, Millis::from_mins(2));
-        assert_eq!(s.unassigned, vec![0, 1]);
+        assert_eq!(*s.unassigned, vec![0, 1]);
 
         // Placing T2 now completes at 3m, 2m past its 1m deadline: the
         // edge carries the $1.20 penalty (Eq. 2).
@@ -319,6 +462,29 @@ mod tests {
             .unwrap();
         let expected = Money::from_dollars(0.052 / 60.0 + 1.20);
         assert!(w.approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn apply_shares_parent_structure() {
+        let s = SearchState::initial(vec![2, 2], &goal());
+        let (s, _) = s
+            .apply(&spec(), &goal(), Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        // Renting shares the unassigned counts wholesale.
+        let (rented, _) = s
+            .apply(&spec(), &goal(), Decision::Place(TemplateId(0)))
+            .unwrap();
+        let (rented2, _) = rented
+            .apply(&spec(), &goal(), Decision::CreateVm(VmTypeId(0)))
+            .unwrap();
+        assert!(Arc::ptr_eq(&rented.unassigned, &rented2.unassigned));
+        // Placing copies the counts once but shares the queue's tail.
+        let (placed, _) = rented
+            .apply(&spec(), &goal(), Decision::Place(TemplateId(1)))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&rented.unassigned, &placed.unassigned));
+        assert_eq!(placed.last_vm.as_ref().unwrap().queue.len(), 2);
+        assert_eq!(rented.last_vm.as_ref().unwrap().queue.len(), 1);
     }
 
     #[test]

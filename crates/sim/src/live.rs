@@ -21,7 +21,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use wisedb_core::{
-    CoreError, CoreResult, Millis, Money, QueryId, TemplateId, VmTypeId, WorkloadSpec,
+    CoreError, CoreResult, Millis, Money, QueryId, SpecHandle, TemplateId, VmTypeId, WorkloadSpec,
 };
 
 use crate::generator::Gaussian;
@@ -115,7 +115,7 @@ struct LiveVm {
 /// the virtual clock advances. See the module docs for semantics.
 #[derive(Debug, Clone)]
 pub struct LiveCluster {
-    spec: WorkloadSpec,
+    spec: SpecHandle,
     options: LiveOptions,
     vms: Vec<LiveVm>,
     now: Millis,
@@ -130,8 +130,10 @@ pub struct LiveCluster {
 }
 
 impl LiveCluster {
-    /// Opens a session at virtual time zero.
-    pub fn new(spec: WorkloadSpec, options: LiveOptions) -> Self {
+    /// Opens a session at virtual time zero. Accepts an owned spec or a
+    /// shared [`SpecHandle`] — the runtime passes the scheduler's handle,
+    /// so the whole stack shares one spec allocation.
+    pub fn new(spec: impl Into<SpecHandle>, options: LiveOptions) -> Self {
         let noise = options.latency_noise_sigma.map(|sigma| {
             (
                 Gaussian::new(0.0, sigma),
@@ -139,7 +141,7 @@ impl LiveCluster {
             )
         });
         LiveCluster {
-            spec,
+            spec: spec.into(),
             options,
             vms: Vec::new(),
             now: Millis::ZERO,

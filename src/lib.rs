@@ -48,7 +48,8 @@
 //! cargo bench -p wisedb-bench    # timing benches (incl. streaming)
 //! ```
 //!
-//! See `tests/README.md` for the test-tier layout.
+//! See `ARCHITECTURE.md` for the crate map and data flow, and
+//! `tests/README.md` for the test-tier layout.
 //!
 //! ## Quickstart
 //!
@@ -119,9 +120,9 @@ pub mod prelude {
     pub use wisedb_advisor::online::{OnlineConfig, OnlineScheduler};
     pub use wisedb_advisor::strategy::{RecommenderConfig, StrategyRecommender};
     pub use wisedb_core::{
-        cost_breakdown, total_cost, CostBreakdown, GoalKind, LatencySummary, MetricsSnapshot,
-        Millis, Money, PenaltyRate, PerformanceGoal, Query, QueryId, QueryTemplate, Schedule,
-        TemplateId, VmType, VmTypeId, Workload, WorkloadSpec,
+        cost_breakdown, total_cost, CostBreakdown, GoalHandle, GoalKind, LatencySummary,
+        MetricsSnapshot, Millis, Money, PenaltyRate, PerformanceGoal, Query, QueryId,
+        QueryTemplate, Schedule, SpecHandle, TemplateId, VmType, VmTypeId, Workload, WorkloadSpec,
     };
     pub use wisedb_runtime::{
         AdmissionPolicy, ArrivalProcess, DiurnalProcess, DriftProcess, OnOffProcess,

@@ -3,8 +3,10 @@
 //! Implements the group/bencher API surface this workspace's benches use
 //! (`benchmark_group`, `sample_size`, `throughput`, `bench_with_input`,
 //! `iter`, `iter_batched`, `criterion_group!` / `criterion_main!`) with a
-//! simple mean-of-samples timer that prints one line per benchmark. No
-//! statistics, plots, or baselines — those need the real crate.
+//! simple mean-of-samples timer that prints one line per benchmark, plus
+//! the programmatic [`measure`] / [`measure_batched`] helpers the
+//! `wisedb-bench --bin regress` harness builds its JSON reports from. No
+//! statistics, plots, or built-in baselines — those need the real crate.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -185,6 +187,43 @@ impl Bencher {
     }
 }
 
+/// Times `routine` programmatically: one warm-up call, then `samples`
+/// timed calls, returning the **median** sample duration (robust to the
+/// odd scheduler hiccup, unlike the printed mean). This is the primitive
+/// the `regress` harness records into its JSON reports.
+pub fn measure<O, F: FnMut() -> O>(samples: usize, mut routine: F) -> Duration {
+    black_box(routine()); // warm-up
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// [`measure`] with a fresh `setup` output per sample; only `routine` is
+/// on the clock (the programmatic analogue of [`Bencher::iter_batched`]).
+pub fn measure_batched<I, O, S, R>(samples: usize, mut setup: S, mut routine: R) -> Duration
+where
+    S: FnMut() -> I,
+    R: FnMut(I) -> O,
+{
+    black_box(routine(setup())); // warm-up
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
@@ -242,4 +281,48 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_a_nonzero_median() {
+        let mut calls = 0u32;
+        let d = measure(5, || {
+            calls += 1;
+            std::hint::black_box((0..500).sum::<u64>())
+        });
+        // One warm-up + five samples.
+        assert_eq!(calls, 6);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_batched_times_only_the_routine() {
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        let d = measure_batched(
+            3,
+            || {
+                setups += 1;
+                vec![1u64; 100]
+            },
+            |v| {
+                runs += 1;
+                v.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(setups, 4); // warm-up + 3 samples
+        assert_eq!(runs, 4);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_clamps_zero_samples() {
+        // samples = 0 still takes one sample instead of panicking.
+        let d = measure(0, || std::hint::black_box(1 + 1));
+        let _ = d;
+    }
 }

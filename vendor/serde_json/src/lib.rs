@@ -1,8 +1,8 @@
 //! Vendored, offline stand-in for `serde_json`.
 //!
 //! Prints and parses JSON text against the vendored `serde` crate's
-//! [`serde::Value`] data model. Covers `to_string` / `from_str` (all this
-//! workspace uses); no streaming, no `json!`, no pretty-printing.
+//! [`serde::Value`] data model. Covers `to_string` / `to_string_pretty` /
+//! `from_str` (all this workspace uses); no streaming, no `json!`.
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -39,6 +39,15 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string (two-space indent, one
+/// array element / object field per line) — the format committed baseline
+/// files use so diffs stay reviewable.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0)?;
     Ok(out)
 }
 
@@ -96,6 +105,43 @@ fn write_value(out: &mut String, v: &Value) -> Result<()> {
             }
             out.push('}');
         }
+    }
+    Ok(())
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, depth: usize) -> Result<()> {
+    const INDENT: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&INDENT.repeat(depth + 1));
+                write_value_pretty(out, item, depth + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&INDENT.repeat(depth));
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&INDENT.repeat(depth + 1));
+                write_string(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, depth + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&INDENT.repeat(depth));
+            out.push('}');
+        }
+        // Scalars and empty containers print compactly.
+        other => write_value(out, other)?,
     }
     Ok(())
 }
@@ -399,5 +445,25 @@ mod tests {
         let s = to_string(&f).unwrap();
         let back: f64 = from_str(&s).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn pretty_printing_indents_and_round_trips() {
+        let json = r#"{"a":[1,2],"b":{"c":"x"},"d":[],"e":{}}"#;
+        let v = parse(json).unwrap();
+        let mut pretty = String::new();
+        write_value_pretty(&mut pretty, &v, 0).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": \"x\"\n  },\n  \"d\": [],\n  \"e\": {}\n}"
+        );
+        // Pretty output re-parses to the same value.
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn to_string_pretty_on_scalars_is_compact() {
+        assert_eq!(to_string_pretty(&42u64).unwrap(), "42");
+        assert_eq!(to_string_pretty("hi").unwrap(), "\"hi\"");
     }
 }
