@@ -8,7 +8,10 @@
 //! * [`batch`] — tree-driven batch scheduling with a deterministic guard
 //!   for invalid suggestions (§4.5, §6.2).
 //! * [`online`] — non-preemptive online scheduling with aged templates,
-//!   the open-VM initial vertex, model Reuse, and linear Shift (§6.3).
+//!   the open-VM initial vertex, model Reuse, and linear Shift (§6.3),
+//!   with LRU-bounded model/view caches.
+//! * [`multi`] — tenant SLA classes: per-class decision models multiplexed
+//!   on one shared cluster view.
 //! * [`strategy`] — the strategy-recommendation ladder with EMD pruning
 //!   and per-template cost estimation functions (§6.1).
 //! * [`baselines`] — FFD / FFI / Pack9, the metric-specific heuristics the
@@ -22,6 +25,7 @@ pub mod baselines;
 pub mod batch;
 pub mod emd;
 pub mod model;
+pub mod multi;
 pub mod online;
 pub mod strategy;
 
@@ -29,6 +33,7 @@ pub use baselines::Heuristic;
 pub use batch::{schedule_batch, BatchPlan, StepSource};
 pub use emd::emd_1d;
 pub use model::{DecisionModel, ModelConfig, ModelGenerator, TrainingArtifacts, TrainingStats};
+pub use multi::MultiScheduler;
 pub use online::{
     ArrivalPlan, ArrivingQuery, ClusterView, OnlineConfig, OnlineOutcome, OnlineReport,
     OnlineScheduler, OpenVmView, PendingArrival, PlannedStep, Planner,

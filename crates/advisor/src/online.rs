@@ -64,6 +64,14 @@ pub struct OnlineConfig {
     pub age_quantum: Millis,
     /// A* limits for [`Planner::Optimal`].
     pub oracle_search: SearchConfig,
+    /// Capacity of each model/view cache (Reuse, Shift, augmented views),
+    /// in entries; the least-recently-used entry is evicted beyond it.
+    /// `0` means unbounded — the pre-eviction behaviour, which leaks: the
+    /// key space (distinct sorted aged (template, bucket) sets) is
+    /// combinatorial, so a long-lived service at a fine
+    /// [`age_quantum`](Self::age_quantum) accumulates one model per ageing
+    /// pattern forever.
+    pub cache_capacity: usize,
 }
 
 impl Default for OnlineConfig {
@@ -77,6 +85,79 @@ impl Default for OnlineConfig {
             oracle_search: SearchConfig {
                 node_limit: 200_000,
             },
+            // Large enough that goal-scale workloads (tens of distinct
+            // ageing patterns) never evict — bounded is purely a leak
+            // guard, not a behaviour change.
+            cache_capacity: 512,
+        }
+    }
+}
+
+/// A small deterministic LRU map: `get` bumps recency, `insert` evicts the
+/// least-recently-used entry once the map exceeds its capacity. Eviction
+/// scans for the minimum logical timestamp — O(len), fine at the few-
+/// hundred-entry capacities the online caches use — and is deterministic
+/// (timestamps are unique), so cached-model behaviour replays exactly
+/// across runs.
+#[derive(Debug, Clone)]
+struct LruCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    clock: u64,
+    /// `0` = unbounded.
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up and marks the entry as most recently used.
+    fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(stamp, value)| {
+            *stamp = clock;
+            &*value
+        })
+    }
+
+    /// Looks up without touching recency (no `&mut` borrow of the map's
+    /// values — what the planner uses after a `get`/`insert` settled
+    /// recency, so the returned reference can outlive later shared reads).
+    fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        self.map.get(key).map(|(_, value)| value)
+    }
+
+    /// Inserts as most recently used, evicting the LRU entry if full.
+    fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        self.map.insert(key, (self.clock, value));
+        if self.capacity > 0 && self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
         }
     }
 }
@@ -255,14 +336,15 @@ pub struct OnlineScheduler {
     /// model. Keyed identically to `augment_cache` — the trained model is
     /// a pure function of the augmented (spec, goal), which fresh
     /// templates do not affect, so batches differing only in fresh
-    /// arrivals share one model.
-    reuse_cache: HashMap<Vec<(u32, u64)>, DecisionModel>,
-    /// Shift cache: ω bucket → model for the shifted goal.
-    shift_cache: HashMap<u64, DecisionModel>,
+    /// arrivals share one model. LRU-bounded by
+    /// [`OnlineConfig::cache_capacity`].
+    reuse_cache: LruCache<Vec<(u32, u64)>, DecisionModel>,
+    /// Shift cache: ω bucket → model for the shifted goal (LRU-bounded).
+    shift_cache: LruCache<u64, DecisionModel>,
     /// Augmented spec/goal views keyed by the batch's aged (template,
     /// bucket) pairs — shared by the Reuse-cached, no-reuse, and oracle
-    /// aged paths.
-    augment_cache: HashMap<Vec<(u32, u64)>, AugmentedView>,
+    /// aged paths (LRU-bounded).
+    augment_cache: LruCache<Vec<(u32, u64)>, AugmentedView>,
 }
 
 impl OnlineScheduler {
@@ -276,6 +358,7 @@ impl OnlineScheduler {
         let goal = goal.into();
         let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
         let (base, artifacts) = generator.train_with_artifacts()?;
+        let capacity = config.cache_capacity;
         Ok(OnlineScheduler {
             spec,
             goal,
@@ -283,9 +366,9 @@ impl OnlineScheduler {
             base,
             generator,
             artifacts,
-            reuse_cache: HashMap::new(),
-            shift_cache: HashMap::new(),
-            augment_cache: HashMap::new(),
+            reuse_cache: LruCache::new(capacity),
+            shift_cache: LruCache::new(capacity),
+            augment_cache: LruCache::new(capacity),
         })
     }
 
@@ -298,6 +381,7 @@ impl OnlineScheduler {
         let spec = base.spec_handle().clone();
         let goal = base.goal_handle().clone();
         let generator = ModelGenerator::new(spec.clone(), goal.clone(), config.training.clone());
+        let capacity = config.cache_capacity;
         OnlineScheduler {
             spec,
             goal,
@@ -305,15 +389,25 @@ impl OnlineScheduler {
             base,
             generator,
             artifacts,
-            reuse_cache: HashMap::new(),
-            shift_cache: HashMap::new(),
-            augment_cache: HashMap::new(),
+            reuse_cache: LruCache::new(capacity),
+            shift_cache: LruCache::new(capacity),
+            augment_cache: LruCache::new(capacity),
         }
     }
 
     /// The base model.
     pub fn base_model(&self) -> &DecisionModel {
         &self.base
+    }
+
+    /// Current sizes of the (Reuse, Shift, augmented-view) caches — each
+    /// is held at [`OnlineConfig::cache_capacity`] by LRU eviction.
+    pub fn cache_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.reuse_cache.len(),
+            self.shift_cache.len(),
+            self.augment_cache.len(),
+        )
     }
 
     /// Replays a stream of arrivals through the online scheduling loop.
@@ -452,7 +546,9 @@ impl OnlineScheduler {
             View::Base(&self.base)
         } else if self.config.shift && shiftable && self.config.planner == Planner::Model {
             let shift = Millis::from_millis(max_bucket * quantum);
-            if !self.shift_cache.contains_key(&max_bucket) {
+            if self.shift_cache.get(&max_bucket).is_some() {
+                cache_hit = true;
+            } else {
                 let shifted_goal = self
                     .goal
                     .shift(shift)
@@ -462,10 +558,12 @@ impl OnlineScheduler {
                     .retrain_tightened(&shifted_goal, &mut self.artifacts)?;
                 self.shift_cache.insert(max_bucket, model);
                 shifted = true;
-            } else {
-                cache_hit = true;
             }
-            View::Shifted(&self.shift_cache[&max_bucket])
+            View::Shifted(
+                self.shift_cache
+                    .peek(&max_bucket)
+                    .expect("hit or just inserted"),
+            )
         } else {
             // Aged-template path (with optional Reuse caching). Both
             // caches key on the batch's aged (template, bucket) pairs —
@@ -476,7 +574,7 @@ impl OnlineScheduler {
             let view = self.augmented_view(&pairs, quantum)?;
             let use_cache = self.config.reuse && self.config.planner == Planner::Model;
             let model_ref: &DecisionModel = if use_cache {
-                if self.reuse_cache.contains_key(&pairs) {
+                if self.reuse_cache.get(&pairs).is_some() {
                     cache_hit = true;
                 } else {
                     let generator = ModelGenerator::new(
@@ -488,7 +586,7 @@ impl OnlineScheduler {
                     retrained = true;
                     self.reuse_cache.insert(pairs.clone(), model);
                 }
-                &self.reuse_cache[&pairs]
+                self.reuse_cache.peek(&pairs).expect("hit or just inserted")
             } else {
                 // Reuse disabled: pay for a fresh model every time (the
                 // "None" arm of Figure 19).
@@ -730,10 +828,7 @@ mod tests {
         templates
             .iter()
             .enumerate()
-            .map(|(i, &t)| ArrivingQuery {
-                template: TemplateId(t),
-                arrival: gap * i as u64,
-            })
+            .map(|(i, &t)| ArrivingQuery::new(TemplateId(t), gap * i as u64))
             .collect()
     }
 
@@ -910,6 +1005,64 @@ mod tests {
             c_model.as_dollars() <= c_oracle.as_dollars() * 1.5 + 1e-6,
             "model {c_model} vs oracle {c_oracle}"
         );
+    }
+
+    #[test]
+    fn lru_cache_bounds_and_recency() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.len(), 2);
+        // Touch 1 so 2 becomes the LRU entry, then overflow.
+        assert_eq!(lru.get(&1), Some(&10));
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.peek(&2), None, "LRU entry evicted");
+        assert_eq!(lru.peek(&1), Some(&10));
+        assert_eq!(lru.peek(&3), Some(&30));
+        // Capacity 0 = unbounded.
+        let mut open: LruCache<u64, u64> = LruCache::new(0);
+        for i in 0..100 {
+            open.insert(i, i);
+        }
+        assert_eq!(open.len(), 100);
+    }
+
+    #[test]
+    fn bounded_caches_hold_capacity_and_keep_the_reuse_win() {
+        // A long stream at a *fine* age quantum: nearly every aged batch
+        // has a fresh ageing signature, so an unbounded Reuse cache grows
+        // with the stream (the ROADMAP leak). The LRU must pin all three
+        // caches at capacity while repeated signatures still hit.
+        let spec = spec();
+        // Average latency is not shiftable => the aged-template (Reuse)
+        // path, the cache-hungry one.
+        let goal = PerformanceGoal::paper_default(GoalKind::AverageLatency, &spec).unwrap();
+        let capacity = 4;
+        let mut scheduler = OnlineScheduler::train(
+            spec,
+            goal,
+            OnlineConfig {
+                training: tiny_training(),
+                age_quantum: Millis::from_millis(50),
+                cache_capacity: capacity,
+                shift: false,
+                ..OnlineConfig::default()
+            },
+        )
+        .unwrap();
+        // 40 arrivals of a 1-minute template every 2 s: deep queues, many
+        // distinct wait patterns.
+        let report = scheduler
+            .run(&stream(&[1; 40], Millis::from_secs(2)))
+            .unwrap();
+        let (reuse, shift, augment) = scheduler.cache_sizes();
+        assert!(reuse <= capacity, "reuse cache leaked: {reuse}");
+        assert!(shift <= capacity, "shift cache leaked: {shift}");
+        assert!(augment <= capacity, "augment cache leaked: {augment}");
+        // The Figure 19 win survives bounding: repeated signatures hit.
+        assert!(report.cache_hits > 0, "bounded cache must still hit");
+        assert_eq!(report.outcomes.len(), 40, "stream completes");
     }
 
     #[test]

@@ -28,9 +28,8 @@ fn main() {
                 .queries()
                 .iter()
                 .enumerate()
-                .map(|(i, q)| ArrivingQuery {
-                    template: q.template,
-                    arrival: Millis::from_secs_f64(delay * i as f64),
+                .map(|(i, q)| {
+                    ArrivingQuery::new(q.template, Millis::from_secs_f64(delay * i as f64))
                 })
                 .collect();
 

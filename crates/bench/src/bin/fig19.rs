@@ -34,10 +34,7 @@ fn main() {
             .queries()
             .iter()
             .zip(times)
-            .map(|(q, arrival)| ArrivingQuery {
-                template: q.template,
-                arrival,
-            })
+            .map(|(q, arrival)| ArrivingQuery::new(q.template, arrival))
             .collect();
 
         let mut cells = vec![kind.name().to_string()];

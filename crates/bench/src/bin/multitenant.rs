@@ -1,0 +1,121 @@
+//! Multi-tenant consolidation report: SLA classes multiplexed on one
+//! shared fleet vs one isolated fleet per class.
+//!
+//! Three tenant classes (gold/per-query, silver/max-latency,
+//! bronze/average-latency) with distinct Poisson streams run twice over
+//! identical traffic and identical base models: once on one shared
+//! [`WorkloadService`] (per-class decision models, one fleet), once as
+//! three single-class services each renting its own fleet. Reports
+//! per-class SLA health under both deployments and the consolidation
+//! saving (% of the isolated deployments' cost the shared fleet avoids).
+//!
+//! `WISEDB_SCALE=quick` runs 50 arrivals per class; `std` (default) 150.
+
+use wisedb::prelude::*;
+use wisedb_bench::multitenant::{self, MultiTenantOutcome};
+use wisedb_bench::{Scale, Table};
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn secs(m: Millis) -> String {
+    format!("{:.0}s", m.as_secs_f64())
+}
+
+fn money(m: Money) -> String {
+    format!("${:.2}", m.as_dollars())
+}
+
+fn class_rows(table: &mut Table, deployment: &str, outcome: &MultiTenantOutcome) {
+    for (i, class) in outcome.classes.iter().enumerate() {
+        let (row, vms, billed) = match deployment {
+            "shared" => {
+                let row = &outcome.shared.last.classes[i];
+                (row.clone(), outcome.shared.last.vms_provisioned, row.billed)
+            }
+            _ => {
+                let last = &outcome.isolated[i].last;
+                (last.classes[0].clone(), last.vms_provisioned, last.billed)
+            }
+        };
+        table.row(&[
+            deployment.to_string(),
+            class.name.clone(),
+            format!("{}", row.completed),
+            secs(row.latency.p50),
+            secs(row.latency.p95),
+            pct(row.violation_rate),
+            money(billed),
+            money(row.penalty),
+            format!("{vms}"),
+        ]);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let outcome = multitenant::run(&spec, scale);
+
+    let mut per_class = Table::new(
+        "multi-tenant: per-class SLA health (shared fleet vs isolated fleets)",
+        &[
+            "deployment",
+            "class",
+            "completed",
+            "p50",
+            "p95",
+            "viol%",
+            "$billed",
+            "$penalty",
+            "fleet VMs",
+        ],
+    );
+    class_rows(&mut per_class, "shared", &outcome);
+    class_rows(&mut per_class, "isolated", &outcome);
+    println!("{}", per_class.render());
+
+    let mut totals = Table::new(
+        "multi-tenant: consolidation totals",
+        &[
+            "deployment",
+            "completed",
+            "VMs rented",
+            "$infra",
+            "$penalty",
+            "$total",
+        ],
+    );
+    let shared = &outcome.shared.last;
+    totals.row(&[
+        "shared".to_string(),
+        format!("{}", shared.completed),
+        format!("{}", outcome.shared_vms()),
+        money(shared.billed),
+        money(shared.penalty),
+        money(outcome.shared_total()),
+    ]);
+    let iso_completed: u64 = outcome.isolated.iter().map(|r| r.last.completed).sum();
+    let iso_billed: Money = outcome.isolated.iter().map(|r| r.last.billed).sum();
+    let iso_penalty: Money = outcome.isolated.iter().map(|r| r.last.penalty).sum();
+    totals.row(&[
+        "isolated×3".to_string(),
+        format!("{iso_completed}"),
+        format!("{}", outcome.isolated_vms()),
+        money(iso_billed),
+        money(iso_penalty),
+        money(outcome.isolated_total()),
+    ]);
+    println!("{}", totals.render());
+
+    println!(
+        "consolidation saving: {:.1}% of the isolated deployments' total cost\n\
+         (shared {} vs isolated {}; {} vs {} VM rentals)",
+        outcome.saving_pct(),
+        money(outcome.shared_total()),
+        money(outcome.isolated_total()),
+        outcome.shared_vms(),
+        outcome.isolated_vms(),
+    );
+}

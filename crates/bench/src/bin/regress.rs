@@ -1,8 +1,10 @@
 //! Hot-path regression harness.
 //!
-//! Runs the three hot-path benches — the A* kernel (one optimal solve per
-//! goal kind), batch scheduling throughput, and the streaming event loop —
-//! writes `BENCH_current.json`, and diffs it against the committed
+//! Runs the four hot-path benches — the A* kernel (one optimal solve per
+//! goal kind), batch scheduling throughput, the streaming event loop, and
+//! the multi-tenant consolidation loop (3 SLA classes, shared vs isolated
+//! fleets) — writes `BENCH_current.json`, and diffs it against the
+//! committed
 //! `crates/bench/BENCH_baseline.json` (see [`wisedb_bench::regress`] for
 //! the comparison semantics: counters exact, times informational unless
 //! `WISEDB_REGRESS_TIME_TOL` is set).
@@ -200,6 +202,46 @@ fn streaming_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+fn multitenant_loop(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let n = wisedb_bench::multitenant::arrivals_per_class(scale);
+    let bench = format!("multitenant_loop/{n}x3");
+    let started = std::time::Instant::now();
+    let outcome = wisedb_bench::multitenant::run(&spec, scale);
+    let elapsed = started.elapsed();
+    out.push(Measurement::new(
+        &bench,
+        "time_ms",
+        ms(elapsed),
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "completed",
+        outcome.shared.last.completed as f64,
+        MetricKind::Counter,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "shared_vms",
+        outcome.shared_vms() as f64,
+        MetricKind::Counter,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "isolated_vms",
+        outcome.isolated_vms() as f64,
+        MetricKind::Counter,
+    ));
+    eprintln!(
+        "  {bench}: {elapsed:?} ({} completed, {} vs {} VMs, {:.1}% saving)",
+        outcome.shared.last.completed,
+        outcome.shared_vms(),
+        outcome.isolated_vms(),
+        outcome.saving_pct()
+    );
+}
+
 fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
 }
@@ -233,6 +275,7 @@ fn main() {
     astar_kernel(scale, &mut measurements);
     batch_throughput(scale, &mut measurements);
     streaming_loop(scale, &mut measurements);
+    multitenant_loop(scale, &mut measurements);
     let current = BenchReport {
         scale: scale_name.to_string(),
         measurements,

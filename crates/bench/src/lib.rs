@@ -20,6 +20,7 @@ use std::io::Write as _;
 use wisedb_advisor::{ModelConfig, ModelGenerator};
 use wisedb_core::{GoalKind, Money, PerformanceGoal, WorkloadSpec};
 
+pub mod multitenant;
 pub mod regress;
 pub mod table;
 

@@ -1,9 +1,10 @@
 //! Bench-regression bookkeeping for `wisedb-bench --bin regress`.
 //!
-//! The regress binary measures the three hot paths (A* kernel, batch
-//! scheduling throughput, streaming event loop), writes the results to
-//! `BENCH_current.json`, and diffs them against the committed
-//! `BENCH_baseline.json`. Two metric kinds get different treatment:
+//! The regress binary measures the four hot paths (A* kernel, batch
+//! scheduling throughput, streaming event loop, multi-tenant consolidation
+//! loop), writes the results to `BENCH_current.json`, and diffs them
+//! against the committed `BENCH_baseline.json`. Two metric kinds get
+//! different treatment:
 //!
 //! * [`MetricKind::Counter`] — deterministic work counters (A* expansions,
 //!   interned states, VMs rented, retrains). Identical on every machine

@@ -82,6 +82,33 @@ pub enum CoreError {
         /// The released VM's index.
         index: usize,
     },
+    /// A multi-tenant service was configured with no SLA classes.
+    NoClasses,
+    /// An SLA class declared an empty template subset, which can never
+    /// admit an arrival.
+    EmptyClassTemplates {
+        /// The offending class.
+        class: crate::tenant::TenantId,
+    },
+    /// An operation referenced an SLA class the service was not configured
+    /// with.
+    UnknownTenantClass {
+        /// The out-of-range class.
+        class: crate::tenant::TenantId,
+    },
+    /// An arrival's template is outside its SLA class's declared subset.
+    TemplateNotInClass {
+        /// The rejected template.
+        template: TemplateId,
+        /// The class whose subset excludes it.
+        class: crate::tenant::TenantId,
+    },
+    /// A hot-swapped model was trained for a different spec or goal than
+    /// the SLA class it is replacing.
+    ModelMismatch {
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -130,6 +157,21 @@ impl fmt::Display for CoreError {
             }
             CoreError::VmReleased { index } => {
                 write!(f, "VM {index} was already released and accepts no work")
+            }
+            CoreError::NoClasses => {
+                write!(f, "a multi-tenant service needs at least one SLA class")
+            }
+            CoreError::EmptyClassTemplates { class } => {
+                write!(f, "SLA {class} declares an empty template subset")
+            }
+            CoreError::UnknownTenantClass { class } => {
+                write!(f, "{class} is not a configured SLA class")
+            }
+            CoreError::TemplateNotInClass { template, class } => {
+                write!(f, "template {template} is outside {class}'s subset")
+            }
+            CoreError::ModelMismatch { detail } => {
+                write!(f, "swapped model does not match the service: {detail}")
             }
         }
     }

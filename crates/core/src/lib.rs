@@ -22,6 +22,9 @@
 //! * [`cost::total_cost`] — Equation 1, the quantity everything minimizes.
 //! * [`ArrivingQuery`] / [`MetricsSnapshot`] — online arrivals (§6.3) and
 //!   the live health metrics of the streaming runtime.
+//! * [`TenantId`] / [`SlaClass`] / [`ClassMetrics`] — tenant SLA classes:
+//!   multiple performance goals multiplexed on one shared fleet, with
+//!   per-class metrics and dollar attribution.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +38,7 @@ pub mod schedule;
 pub mod spec;
 pub mod stream;
 pub mod template;
+pub mod tenant;
 pub mod time;
 pub mod vm;
 pub mod workload;
@@ -46,8 +50,11 @@ pub use handle::{GoalHandle, SpecHandle};
 pub use money::{Money, PenaltyRate};
 pub use schedule::{Placement, QueryLatency, Schedule, VmInstance};
 pub use spec::WorkloadSpec;
-pub use stream::{percentile_sorted, ArrivingQuery, LatencySummary, MetricsSnapshot, OpenVmView};
+pub use stream::{
+    percentile_sorted, ArrivingQuery, LatencyHistogram, LatencySummary, MetricsSnapshot, OpenVmView,
+};
 pub use template::{QueryTemplate, TemplateId};
+pub use tenant::{validate_classes, ClassMetrics, SlaClass, TenantId};
 pub use time::Millis;
 pub use vm::{VmType, VmTypeId};
 pub use workload::{Query, QueryId, Workload};

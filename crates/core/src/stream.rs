@@ -11,15 +11,40 @@ use serde::{Deserialize, Serialize};
 use crate::goal::PerformanceGoal;
 use crate::money::Money;
 use crate::template::TemplateId;
+use crate::tenant::{ClassMetrics, TenantId};
 use crate::time::Millis;
 
-/// One query of an online stream: a template instance plus its arrival time.
+/// One query of an online stream: a template instance plus its arrival
+/// time, tagged with the SLA class of the tenant that submitted it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArrivingQuery {
     /// The query's template.
     pub template: TemplateId,
     /// When it arrives (monotonically non-decreasing across the stream).
     pub arrival: Millis,
+    /// The submitting tenant's SLA class ([`TenantId::DEFAULT`] for
+    /// single-class streams).
+    pub class: TenantId,
+}
+
+impl ArrivingQuery {
+    /// An arrival of the default class.
+    pub fn new(template: TemplateId, arrival: Millis) -> Self {
+        ArrivingQuery {
+            template,
+            arrival,
+            class: TenantId::DEFAULT,
+        }
+    }
+
+    /// An arrival tagged with an SLA class.
+    pub fn of_class(template: TemplateId, arrival: Millis, class: TenantId) -> Self {
+        ArrivingQuery {
+            template,
+            arrival,
+            class,
+        }
+    }
 }
 
 /// The open (most recently provisioned, still accepting work) VM as the
@@ -84,6 +109,107 @@ impl LatencySummary {
     }
 }
 
+/// An incrementally maintained latency population with exact order
+/// statistics.
+///
+/// [`LatencySummary::of`] re-sorts its whole input, so snapshotting a
+/// metrics collector every `k` arrivals over an `n`-query stream costs
+/// `O(n²/k · log n)` — quadratic in the stream. The histogram instead
+/// keeps counts keyed by the (integer-millisecond) latency value in a
+/// `BTreeMap`: pushes are `O(log d)` and summaries `O(d)`, where `d` is
+/// the number of *distinct* values — bounded by the value range, not the
+/// stream length. Percentiles are nearest-rank over the counts, **bit-
+/// identical** to sorting the full population (asserted by tests).
+///
+/// An optional resolution coarsens keys to fixed-width buckets (values
+/// round down to a multiple of the resolution), trading exactness for a
+/// hard bound on `d`; the default resolution of 1 ms is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Count per (quantized) latency value, ascending.
+    counts: std::collections::BTreeMap<Millis, u64>,
+    /// Bucket width; 1 ms keeps exact values.
+    resolution: Millis,
+    count: u64,
+    sum: Millis,
+    max: Millis,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty, exact (1 ms resolution) histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::with_resolution(Millis::from_millis(1))
+    }
+
+    /// An empty histogram whose keys round down to multiples of
+    /// `resolution` (must be non-zero).
+    pub fn with_resolution(resolution: Millis) -> Self {
+        assert!(!resolution.is_zero(), "histogram resolution must be > 0");
+        LatencyHistogram {
+            counts: std::collections::BTreeMap::new(),
+            resolution,
+            count: 0,
+            sum: Millis::ZERO,
+            max: Millis::ZERO,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, latency: Millis) {
+        let r = self.resolution.as_millis();
+        let key = Millis::from_millis(latency.as_millis() / r * r);
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += key;
+        self.max = self.max.max(key);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank percentile (`p` in (0, 100]; empty yields zero) —
+    /// identical to [`percentile_sorted`] over the full population.
+    pub fn percentile(&self, p: f64) -> Millis {
+        if self.count == 0 {
+            return Millis::ZERO;
+        }
+        let k = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let k = k.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&value, &n) in &self.counts {
+            seen += n;
+            if seen >= k {
+                return value;
+            }
+        }
+        self.max
+    }
+
+    /// The same order statistics [`LatencySummary::of`] would compute from
+    /// the full population, without materializing it.
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: self.count,
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max,
+            mean: self.sum / self.count,
+        }
+    }
+}
+
 /// A point-in-virtual-time health report of a streaming workload service.
 ///
 /// Latency fields measure *SLA latency* (completion − arrival); queueing
@@ -125,6 +251,11 @@ pub struct MetricsSnapshot {
     pub mean_decision_secs: f64,
     /// 95th-percentile scheduler overhead per arrival, in (real) seconds.
     pub p95_decision_secs: f64,
+    /// Per-SLA-class metrics, indexed by [`TenantId`]. A single-class
+    /// service reports one row whose numbers mirror the fleet-wide fields;
+    /// multi-tenant services report one row per class, and the rows sum to
+    /// the fleet totals (asserted by tests).
+    pub classes: Vec<ClassMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -147,7 +278,13 @@ impl MetricsSnapshot {
             vms_provisioned: 0,
             mean_decision_secs: 0.0,
             p95_decision_secs: 0.0,
+            classes: Vec::new(),
         }
+    }
+
+    /// The metrics row of one SLA class, if the snapshot carries it.
+    pub fn class(&self, class: TenantId) -> Option<&ClassMetrics> {
+        self.classes.get(class.index())
     }
 
     /// Total cost rate and absolutes folded into one money figure.
@@ -238,6 +375,66 @@ mod tests {
             rate,
         };
         assert_eq!(pct.per_query_bound(TemplateId(0)), Millis::from_mins(4));
+    }
+
+    #[test]
+    fn histogram_matches_naive_sort_exactly() {
+        // Adversarial population: duplicates, clusters, a long tail, and
+        // insertion order far from sorted.
+        let mut values = Vec::new();
+        let mut x: u64 = 9_876_543;
+        for i in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = match i % 4 {
+                0 => x % 50,             // dense duplicates
+                1 => 1_000 + x % 10,     // tight cluster
+                2 => x % 100_000,        // broad spread
+                _ => 10_000_000 + x % 3, // far tail
+            };
+            values.push(Millis::from_millis(v));
+        }
+        let mut hist = LatencyHistogram::new();
+        let mut naive = LatencySummary::default();
+        for (i, &v) in values.iter().enumerate() {
+            hist.push(v);
+            // Interim snapshots must agree with the naive full sort at
+            // every prefix, not just the end (checked sparsely for speed).
+            if i % 257 == 0 || i + 1 == values.len() {
+                naive = LatencySummary::of(&values[..=i]);
+                assert_eq!(hist.summary(), naive, "prefix {}", i + 1);
+            }
+        }
+        // And every percentile, not just the summary's three.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [1.0, 10.0, 25.0, 33.3, 66.7, 90.0, 99.9, 100.0] {
+            assert_eq!(hist.percentile(p), percentile_sorted(&sorted, p), "p{p}");
+        }
+        assert_eq!(hist.count(), naive.count);
+    }
+
+    #[test]
+    fn histogram_resolution_quantizes_keys() {
+        let mut hist = LatencyHistogram::with_resolution(Millis::from_millis(100));
+        hist.push(Millis::from_millis(149)); // → 100
+        hist.push(Millis::from_millis(150)); // → 100
+        hist.push(Millis::from_millis(250)); // → 200
+        let s = hist.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50, Millis::from_millis(100));
+        assert_eq!(s.max, Millis::from_millis(200));
+    }
+
+    #[test]
+    fn arriving_query_constructors_tag_classes() {
+        use crate::tenant::TenantId;
+        let fresh = ArrivingQuery::new(TemplateId(1), Millis::from_secs(3));
+        assert_eq!(fresh.class, TenantId::DEFAULT);
+        let gold = ArrivingQuery::of_class(TemplateId(1), Millis::from_secs(3), TenantId(2));
+        assert_eq!(gold.class, TenantId(2));
+        assert_eq!(gold.template, fresh.template);
     }
 
     #[test]

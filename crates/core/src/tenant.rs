@@ -1,0 +1,280 @@
+//! Tenant SLA classes: multiple performance goals multiplexed on one fleet.
+//!
+//! WiSeDB trains one decision model per performance goal, and §6.2 shows
+//! models transfer across shifted goals — but a cloud *provider* serves
+//! tenants whose SLAs differ in kind, not just tightness. This module
+//! introduces the vocabulary for that setting:
+//!
+//! * [`TenantId`] — a dense index identifying one SLA class of a service.
+//!   Class 0 is the **default class**; a single-class service is exactly
+//!   the pre-multi-tenant single-goal service (asserted by tests).
+//! * [`SlaClass`] — a named [`GoalHandle`] plus an optional template
+//!   subset and a shedding priority: everything a service needs to know
+//!   about one tenant population.
+//! * [`ClassMetrics`] — the per-class slice of a
+//!   [`MetricsSnapshot`](crate::MetricsSnapshot): latency percentiles,
+//!   violation rate, and dollar attribution alongside the fleet totals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::handle::GoalHandle;
+use crate::money::Money;
+use crate::stream::LatencySummary;
+use crate::template::TemplateId;
+
+/// Identifies one SLA class (tenant population) of a workload service.
+///
+/// Ids are dense: a service with `k` classes uses `TenantId(0)` through
+/// `TenantId(k - 1)`, in the order the classes were registered.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default class: what every untagged arrival belongs to, and the
+    /// only class of a legacy single-goal service.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// One tenant SLA class: a named performance goal, the template subset its
+/// tenants may submit, and a shedding priority.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaClass {
+    /// Human-readable label ("gold", "batch-tier", ...).
+    pub name: String,
+    /// The class's performance goal (shared handle: clones are pointer
+    /// bumps, and every layer holding the class sees one allocation).
+    pub goal: GoalHandle,
+    /// Templates tenants of this class may submit. `None` means the whole
+    /// spec; `Some` restricts arrivals (enforced at offer time).
+    pub templates: Option<Vec<TemplateId>>,
+    /// Shedding priority under overload: **higher keeps working longer**.
+    /// Priority-aware admission policies shed the lowest priority (the
+    /// loosest SLA) first.
+    pub priority: u8,
+}
+
+impl SlaClass {
+    /// A class over the full template set with priority 0.
+    pub fn new(name: impl Into<String>, goal: impl Into<GoalHandle>) -> Self {
+        SlaClass {
+            name: name.into(),
+            goal: goal.into(),
+            templates: None,
+            priority: 0,
+        }
+    }
+
+    /// The class a legacy single-goal service implicitly runs: full
+    /// template set, priority 0, named "default".
+    pub fn solo(goal: impl Into<GoalHandle>) -> Self {
+        SlaClass::new("default", goal)
+    }
+
+    /// Restricts the class to a template subset.
+    pub fn with_templates(mut self, templates: Vec<TemplateId>) -> Self {
+        self.templates = Some(templates);
+        self
+    }
+
+    /// Sets the shedding priority (higher survives overload longer).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Whether tenants of this class may submit `template`.
+    pub fn allows(&self, template: TemplateId) -> bool {
+        match &self.templates {
+            None => true,
+            Some(list) => list.contains(&template),
+        }
+    }
+}
+
+/// The per-class slice of a metrics snapshot. Sums across classes
+/// reproduce the fleet-wide totals exactly (asserted by tests): per-class
+/// latency populations partition the fleet population, penalties are
+/// tracked per class goal, and dollars are attributed to the class that
+/// caused them (start-up fees to the class whose plan rented the VM,
+/// rental to the class whose query executed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Which class this row describes.
+    pub class: TenantId,
+    /// The class's label (copied from its [`SlaClass`]).
+    pub name: String,
+    /// This class's shedding priority.
+    pub priority: u8,
+    /// Arrivals of this class admitted so far.
+    pub admitted: u64,
+    /// Arrivals of this class rejected by admission control.
+    pub rejected: u64,
+    /// Queries of this class that finished executing.
+    pub completed: u64,
+    /// SLA latency (completion − arrival) order statistics.
+    pub latency: LatencySummary,
+    /// Queueing delay (start − arrival) order statistics.
+    pub queueing: LatencySummary,
+    /// Completions whose SLA latency exceeded the class goal's per-query
+    /// bound.
+    pub sla_violations: u64,
+    /// `sla_violations / completed` (zero when nothing completed).
+    pub violation_rate: f64,
+    /// Infrastructure money attributed to this class: start-up fees of the
+    /// VMs its plans rented plus rental for its executions.
+    pub billed: Money,
+    /// SLA penalty accrued under this class's goal.
+    pub penalty: Money,
+    /// `(billed + penalty) / virtual hours elapsed` (zero at t=0).
+    pub dollars_per_hour: f64,
+}
+
+impl ClassMetrics {
+    /// An all-zero row for `class`.
+    pub fn empty(class: TenantId, name: impl Into<String>, priority: u8) -> Self {
+        ClassMetrics {
+            class,
+            name: name.into(),
+            priority,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            latency: LatencySummary::default(),
+            queueing: LatencySummary::default(),
+            sla_violations: 0,
+            violation_rate: 0.0,
+            billed: Money::ZERO,
+            penalty: Money::ZERO,
+            dollars_per_hour: 0.0,
+        }
+    }
+
+    /// Billed plus penalty, the class's total cost.
+    pub fn total_cost(&self) -> Money {
+        self.billed + self.penalty
+    }
+}
+
+/// Validates a class set: non-empty, and every declared template subset is
+/// non-empty and within the spec's template range.
+pub fn validate_classes(
+    classes: &[SlaClass],
+    spec: &crate::spec::WorkloadSpec,
+) -> crate::error::CoreResult<()> {
+    if classes.is_empty() {
+        return Err(crate::error::CoreError::NoClasses);
+    }
+    for (i, class) in classes.iter().enumerate() {
+        class.goal.validate_against(spec)?;
+        if let Some(templates) = &class.templates {
+            if templates.is_empty() {
+                return Err(crate::error::CoreError::EmptyClassTemplates {
+                    class: TenantId(i as u32),
+                });
+            }
+            for &t in templates {
+                if t.index() >= spec.num_templates() {
+                    return Err(crate::error::CoreError::UnknownTemplate { template: t });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::PerformanceGoal;
+    use crate::money::PenaltyRate;
+    use crate::spec::WorkloadSpec;
+    use crate::time::Millis;
+    use crate::vm::VmType;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::single_vm(
+            vec![("T1", Millis::from_mins(2)), ("T2", Millis::from_mins(1))],
+            VmType::t2_medium(),
+        )
+        .unwrap()
+    }
+
+    fn goal() -> PerformanceGoal {
+        PerformanceGoal::MaxLatency {
+            deadline: Millis::from_mins(5),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        }
+    }
+
+    #[test]
+    fn class_allows_respects_subset() {
+        let open = SlaClass::new("open", goal());
+        assert!(open.allows(TemplateId(0)));
+        assert!(open.allows(TemplateId(7)));
+        let narrow = SlaClass::new("narrow", goal()).with_templates(vec![TemplateId(1)]);
+        assert!(narrow.allows(TemplateId(1)));
+        assert!(!narrow.allows(TemplateId(0)));
+    }
+
+    #[test]
+    fn validate_classes_catches_bad_sets() {
+        let s = spec();
+        assert!(matches!(
+            validate_classes(&[], &s),
+            Err(crate::error::CoreError::NoClasses)
+        ));
+        let bad_subset = SlaClass::new("x", goal()).with_templates(vec![]);
+        assert!(matches!(
+            validate_classes(&[bad_subset], &s),
+            Err(crate::error::CoreError::EmptyClassTemplates { .. })
+        ));
+        let foreign = SlaClass::new("x", goal()).with_templates(vec![TemplateId(9)]);
+        assert!(matches!(
+            validate_classes(&[foreign], &s),
+            Err(crate::error::CoreError::UnknownTemplate { .. })
+        ));
+        let fine = vec![
+            SlaClass::new("gold", goal()).with_priority(2),
+            SlaClass::new("bronze", goal()).with_templates(vec![TemplateId(0)]),
+        ];
+        assert!(validate_classes(&fine, &s).is_ok());
+    }
+
+    #[test]
+    fn tenant_id_displays_and_indexes() {
+        assert_eq!(TenantId(3).to_string(), "class3");
+        assert_eq!(TenantId(3).index(), 3);
+        assert_eq!(TenantId::default(), TenantId::DEFAULT);
+    }
+
+    #[test]
+    fn class_serde_round_trips() {
+        let class = SlaClass::new("gold", goal())
+            .with_templates(vec![TemplateId(0), TemplateId(1)])
+            .with_priority(3);
+        let json = serde_json::to_string(&class).unwrap();
+        let back: SlaClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, class);
+    }
+
+    #[test]
+    fn class_metrics_total_cost_adds_up() {
+        let mut m = ClassMetrics::empty(TenantId(1), "silver", 1);
+        m.billed = Money::from_dollars(2.0);
+        m.penalty = Money::from_dollars(0.5);
+        assert!(m.total_cost().approx_eq(Money::from_dollars(2.5), 1e-12));
+    }
+}

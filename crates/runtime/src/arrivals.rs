@@ -21,7 +21,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wisedb_core::{ArrivingQuery, Millis, TemplateId};
+use wisedb_core::{ArrivingQuery, Millis, TemplateId, TenantId};
 
 /// A probability distribution over query templates.
 #[derive(Debug, Clone, PartialEq)]
@@ -314,11 +314,23 @@ impl ArrivalProcess for DriftProcess {
 }
 
 /// Materializes the first `n` arrivals of a process as an explicit stream
-/// (absolute arrival times, starting at the first drawn gap).
+/// (absolute arrival times, starting at the first drawn gap), tagged with
+/// the default SLA class.
 pub fn generate_stream(
     process: &mut dyn ArrivalProcess,
     n: usize,
     seed: u64,
+) -> Vec<ArrivingQuery> {
+    generate_class_stream(process, n, seed, TenantId::DEFAULT)
+}
+
+/// [`generate_stream`] with every arrival tagged as `class` — one tenant
+/// population's traffic, ready to be [`merge_streams`]d with the others.
+pub fn generate_class_stream(
+    process: &mut dyn ArrivalProcess,
+    n: usize,
+    seed: u64,
+    class: TenantId,
 ) -> Vec<ArrivingQuery> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut now = Millis::ZERO;
@@ -326,12 +338,18 @@ pub fn generate_stream(
     for _ in 0..n {
         let (gap, template) = process.next(now, &mut rng);
         now += gap;
-        out.push(ArrivingQuery {
-            template,
-            arrival: now,
-        });
+        out.push(ArrivingQuery::of_class(template, now, class));
     }
     out
+}
+
+/// Interleaves per-class streams into one time-ordered multi-tenant
+/// stream. Ties on the arrival instant break by class id then template, so
+/// the merge is deterministic regardless of input order.
+pub fn merge_streams(streams: Vec<Vec<ArrivingQuery>>) -> Vec<ArrivingQuery> {
+    let mut merged: Vec<ArrivingQuery> = streams.into_iter().flatten().collect();
+    merged.sort_by_key(|a| (a.arrival, a.class, a.template));
+    merged
 }
 
 #[cfg(test)]
@@ -417,6 +435,23 @@ mod tests {
             hot0_early > (hot0_late + 1) * 4,
             "template 0 should fade: early={hot0_early} late={hot0_late}"
         );
+    }
+
+    #[test]
+    fn class_streams_tag_and_merge_in_time_order() {
+        let mk = |rate: f64| PoissonProcess::per_second(rate, TemplateMix::uniform(2));
+        let gold = generate_class_stream(&mut mk(1.0), 50, 7, TenantId(0));
+        let bronze = generate_class_stream(&mut mk(2.0), 80, 8, TenantId(1));
+        assert!(gold.iter().all(|a| a.class == TenantId(0)));
+        assert!(bronze.iter().all(|a| a.class == TenantId(1)));
+        let merged = merge_streams(vec![bronze.clone(), gold.clone()]);
+        assert_eq!(merged.len(), 130);
+        assert!(merged.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Merge order is input-order independent.
+        assert_eq!(merged, merge_streams(vec![gold, bronze]));
+        // Untagged generation is the default class.
+        let plain = generate_stream(&mut mk(1.0), 5, 7);
+        assert!(plain.iter().all(|a| a.class == TenantId::DEFAULT));
     }
 
     #[test]

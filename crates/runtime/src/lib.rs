@@ -15,9 +15,12 @@
 //!   latency, SLA-violation rate, $/hour, fleet gauges, and scheduler
 //!   decision latency.
 //! * [`service`] — [`WorkloadService`], the virtual-clock event loop
-//!   wiring `OnlineScheduler` (incremental planning, Reuse/Shift caches,
-//!   parallel retraining) to `LiveCluster` (incremental provisioning,
-//!   execution, billing).
+//!   wiring per-class `OnlineScheduler`s (incremental planning,
+//!   LRU-bounded Reuse/Shift caches, parallel retraining, hot model
+//!   swaps) to `LiveCluster` (incremental provisioning, execution,
+//!   per-class billing). Multiple tenant SLA classes multiplex onto one
+//!   shared fleet via [`WorkloadService::train_classes`]; a single-class
+//!   service is bit-identical to the legacy single-goal one.
 //!
 //! ## Quickstart
 //!
@@ -62,8 +65,8 @@ pub mod service;
 
 pub use admission::{AdmissionPolicy, LoadStatus};
 pub use arrivals::{
-    generate_stream, ArrivalProcess, DiurnalProcess, DriftProcess, OnOffProcess, PoissonProcess,
-    TemplateMix,
+    generate_class_stream, generate_stream, merge_streams, ArrivalProcess, DiurnalProcess,
+    DriftProcess, OnOffProcess, PoissonProcess, TemplateMix,
 };
 pub use metrics::MetricsCollector;
 pub use service::{RuntimeConfig, StreamReport, WorkloadService};
@@ -72,10 +75,10 @@ pub use service::{RuntimeConfig, StreamReport, WorkloadService};
 pub mod prelude {
     pub use crate::admission::{AdmissionPolicy, LoadStatus};
     pub use crate::arrivals::{
-        generate_stream, ArrivalProcess, DiurnalProcess, DriftProcess, OnOffProcess,
-        PoissonProcess, TemplateMix,
+        generate_class_stream, generate_stream, merge_streams, ArrivalProcess, DiurnalProcess,
+        DriftProcess, OnOffProcess, PoissonProcess, TemplateMix,
     };
     pub use crate::metrics::MetricsCollector;
     pub use crate::service::{RuntimeConfig, StreamReport, WorkloadService};
-    pub use wisedb_core::{LatencySummary, MetricsSnapshot};
+    pub use wisedb_core::{ClassMetrics, LatencySummary, MetricsSnapshot, SlaClass, TenantId};
 }

@@ -3,14 +3,25 @@
 //! [`WorkloadService`] wires the pieces into the §6.3 loop, run as a
 //! continuously stepped process instead of a batch replay:
 //!
-//! 1. an arrival fires (from a stream or an [`ArrivalProcess`]);
+//! 1. an arrival fires (from a stream or an [`ArrivalProcess`]), tagged
+//!    with its tenant's SLA class;
 //! 2. the live cluster advances to the arrival instant — queued queries
 //!    start, finished ones complete and feed the metrics;
-//! 3. admission control inspects the load and may shed the arrival;
-//! 4. every *unstarted* query is recalled from the cluster and replanned
-//!    together with the newcomer ([`OnlineScheduler::plan_arrivals`]);
+//! 3. admission control inspects the load (including the arriving class's
+//!    priority and queue depth) and may shed the arrival;
+//! 4. every *unstarted query of the same class* is recalled from the
+//!    cluster and replanned together with the newcomer by that class's
+//!    decision model ([`MultiScheduler::plan_arrivals`]); other classes'
+//!    queued placements stay put;
 //! 5. the plan's provision/assign steps are dispatched back onto the
-//!    cluster, which bills them as they execute.
+//!    shared cluster, which bills them — attributed to the class — as
+//!    they execute.
+//!
+//! A single-class service (what [`train`](WorkloadService::train) builds)
+//! degenerates to the original single-goal pipeline **bit-identically**:
+//! recalling "the arrival's class" recalls everything, the one model plans
+//! every batch, and the per-class metrics row mirrors the fleet totals
+//! (asserted by `tests/multitenant_e2e.rs`).
 //!
 //! Everything is deterministic under a fixed seed — same stream, same
 //! placements, same bill — except scheduler *decision latency*, which is
@@ -21,12 +32,14 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use wisedb_advisor::multi::MultiScheduler;
 use wisedb_advisor::online::{
     ClusterView, OnlineConfig, OnlineScheduler, PendingArrival, PlannedStep,
 };
+use wisedb_advisor::{DecisionModel, TrainingArtifacts};
 use wisedb_core::{
-    ArrivingQuery, CoreResult, GoalHandle, MetricsSnapshot, Millis, QueryId, SpecHandle,
-    TemplateId, WorkloadSpec,
+    ArrivingQuery, CoreError, CoreResult, GoalHandle, MetricsSnapshot, Millis, QueryId, SlaClass,
+    SpecHandle, TemplateId, TenantId, WorkloadSpec,
 };
 use wisedb_sim::{Completion, LiveCluster, LiveOptions};
 
@@ -37,7 +50,8 @@ use crate::metrics::MetricsCollector;
 /// Configuration of a [`WorkloadService`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Online scheduling configuration (planner, Reuse/Shift, training).
+    /// Online scheduling configuration (planner, Reuse/Shift, training,
+    /// cache capacity) — applied to every class's scheduler.
     pub online: OnlineConfig,
     /// The overload valve.
     pub admission: AdmissionPolicy,
@@ -74,39 +88,67 @@ pub struct StreamReport {
     pub completions: Vec<Completion>,
 }
 
-/// A streaming online workload-management service over a virtual clock.
+/// A streaming online workload-management service over a virtual clock,
+/// scheduling one or more tenant SLA classes onto one shared fleet.
 pub struct WorkloadService {
-    scheduler: OnlineScheduler,
+    scheduler: MultiScheduler,
     cluster: LiveCluster,
     metrics: MetricsCollector,
     config: RuntimeConfig,
     /// Original arrival time per admitted query, indexed by [`QueryId`].
+    /// (The query's SLA class needs no sibling table: it rides the cluster
+    /// queue entries into each [`Completion`].)
     arrival_of: Vec<Millis>,
     /// Completions observed so far (completion order).
     completions: Vec<Completion>,
 }
 
 impl WorkloadService {
-    /// Trains a base model for `(spec, goal)` and opens the service.
-    /// Accepts owned values or shared handles; either way the scheduler,
-    /// cluster, and metrics layers end up sharing one spec/goal allocation.
+    /// Trains a base model for `(spec, goal)` and opens a single-class
+    /// service — the legacy single-goal shape. Accepts owned values or
+    /// shared handles; either way the scheduler, cluster, and metrics
+    /// layers end up sharing one spec/goal allocation.
     pub fn train(
         spec: impl Into<SpecHandle>,
         goal: impl Into<GoalHandle>,
         config: RuntimeConfig,
     ) -> CoreResult<Self> {
-        let scheduler = OnlineScheduler::train(spec, goal, config.online.clone())?;
-        Ok(Self::with_scheduler(scheduler, config))
+        WorkloadService::train_classes(spec, vec![SlaClass::solo(goal.into())], config)
     }
 
-    /// Opens the service around an already-trained scheduler.
+    /// Trains one base model per SLA class (`classes[i]` is
+    /// [`TenantId`]`(i)`) and opens a multi-tenant service: every class's
+    /// arrivals are planned by its own model, all contending for one
+    /// shared fleet.
+    pub fn train_classes(
+        spec: impl Into<SpecHandle>,
+        classes: Vec<SlaClass>,
+        config: RuntimeConfig,
+    ) -> CoreResult<Self> {
+        let scheduler = MultiScheduler::train(spec, classes, config.online.clone())?;
+        Ok(Self::with_multi(scheduler, config))
+    }
+
+    /// Opens a single-class service around an already-trained scheduler.
     pub fn with_scheduler(scheduler: OnlineScheduler, config: RuntimeConfig) -> Self {
-        let spec: SpecHandle = scheduler.base_model().spec_handle().clone();
         let goal: GoalHandle = scheduler.base_model().goal_handle().clone();
+        let multi = MultiScheduler::with_schedulers(
+            vec![SlaClass::solo(goal)],
+            vec![scheduler],
+            config.online.clone(),
+        )
+        .expect("one class, one scheduler, shared spec");
+        Self::with_multi(multi, config)
+    }
+
+    /// Opens a service around a pre-built multi-class scheduler.
+    pub fn with_multi(scheduler: MultiScheduler, config: RuntimeConfig) -> Self {
+        let spec: SpecHandle = scheduler.spec_handle().clone();
+        let classes = scheduler.classes().to_vec();
         WorkloadService {
             scheduler,
             cluster: LiveCluster::new(spec, config.cluster.clone()),
-            metrics: MetricsCollector::new(goal),
+            metrics: MetricsCollector::with_classes(classes),
             config,
             arrival_of: Vec::new(),
             completions: Vec::new(),
@@ -116,6 +158,16 @@ impl WorkloadService {
     /// The workload specification in force.
     pub fn spec(&self) -> &WorkloadSpec {
         self.cluster.spec()
+    }
+
+    /// The configured SLA classes, indexed by [`TenantId`].
+    pub fn classes(&self) -> &[SlaClass] {
+        self.scheduler.classes()
+    }
+
+    /// One class's scheduler (base model + caches).
+    pub fn scheduler(&self, class: TenantId) -> CoreResult<&OnlineScheduler> {
+        self.scheduler.scheduler(class)
     }
 
     /// The current virtual time.
@@ -128,9 +180,44 @@ impl WorkloadService {
         &self.cluster
     }
 
-    /// Offers one arrival to the service at virtual time `at` (monotone
-    /// across calls). Returns `true` if admitted, `false` if shed.
+    /// Hot-swaps one class's decision model — the background-retraining
+    /// hook: train a drift-adapted model off the event loop (the
+    /// `DriftProcess` + `ModelConfig::threads` machinery), then swap it in
+    /// without stopping the service. The new model (fresh Reuse/Shift
+    /// caches) takes effect on the **next arrival**; in-flight and queued
+    /// queries are untouched. The model must match the service's spec and
+    /// the class's goal.
+    pub fn swap_model(
+        &mut self,
+        class: TenantId,
+        model: DecisionModel,
+        artifacts: TrainingArtifacts,
+    ) -> CoreResult<()> {
+        self.scheduler.swap_model(class, model, artifacts)
+    }
+
+    /// Offers one arrival of the default class at virtual time `at`
+    /// (monotone across calls). Returns `true` if admitted, `false` if
+    /// shed.
     pub fn offer(&mut self, template: TemplateId, at: Millis) -> CoreResult<bool> {
+        self.offer_as(template, TenantId::DEFAULT, at)
+    }
+
+    /// Offers one arrival of an SLA class at virtual time `at` (monotone
+    /// across calls). Returns `true` if admitted, `false` if shed by
+    /// admission control. Errors if the class is unknown or the template
+    /// is outside the class's declared subset.
+    pub fn offer_as(
+        &mut self,
+        template: TemplateId,
+        class: TenantId,
+        at: Millis,
+    ) -> CoreResult<bool> {
+        let sla = self.scheduler.class(class)?;
+        if !sla.allows(template) {
+            return Err(CoreError::TemplateNotInClass { template, class });
+        }
+        let priority = sla.priority;
         self.step_to(at);
 
         let status = LoadStatus {
@@ -138,17 +225,22 @@ impl WorkloadService {
             pending: self.cluster.pending(),
             in_flight: self.metrics.admitted() - self.metrics.completed(),
             vms_in_flight: self.cluster.vms_in_flight(),
+            class,
+            priority,
+            class_pending: self.cluster.pending_of(class),
         };
         if !self.config.admission.admits(&status) {
-            self.metrics.reject();
+            self.metrics.reject_as(class);
             return Ok(false);
         }
 
         let id = QueryId(self.arrival_of.len() as u32);
         self.arrival_of.push(at);
 
-        // The batch: the newcomer plus everything recalled unstarted.
-        let recalled = self.cluster.recall_pending();
+        // The batch: the newcomer plus every *same-class* query recalled
+        // unstarted. Other classes' queued placements stay put — their
+        // own next arrival may replan them.
+        let recalled = self.cluster.recall_pending_of(class);
         let mut batch: Vec<PendingArrival> = vec![PendingArrival {
             id,
             template,
@@ -171,7 +263,7 @@ impl WorkloadService {
         };
 
         let started = Instant::now();
-        let plan = match self.scheduler.plan_arrivals(&view, &batch, at) {
+        let plan = match self.scheduler.plan_arrivals(class, &view, &batch, at) {
             Ok(plan) => plan,
             Err(err) => {
                 // Planning failed (e.g. a retrain hit its search limits).
@@ -180,7 +272,7 @@ impl WorkloadService {
                 // for callers that handle the error and continue.
                 for r in recalled {
                     self.cluster
-                        .enqueue(r.vm_index, r.query, r.template)
+                        .enqueue_as(r.vm_index, r.query, r.template, r.class)
                         .expect("restoring a just-recalled query cannot fail");
                 }
                 self.arrival_of.pop();
@@ -188,13 +280,13 @@ impl WorkloadService {
             }
         };
         self.metrics.decision(started.elapsed().as_secs_f64());
-        self.metrics.admit();
+        self.metrics.admit_as(class);
         for step in plan.steps {
             match step {
                 PlannedStep::Provision(vm_type) => {
                     let index = self
                         .cluster
-                        .provision(vm_type)
+                        .provision_as(vm_type, class)
                         .expect("planned VM types come from the spec");
                     target = Some(index);
                 }
@@ -204,7 +296,7 @@ impl WorkloadService {
                     // the target VM cannot have been released.
                     let vm = target.expect("plans rent before placing when no VM is open");
                     self.cluster
-                        .enqueue(vm, query, template)
+                        .enqueue_as(vm, query, template, class)
                         .expect("planned placements are valid for their VM");
                 }
             }
@@ -230,11 +322,13 @@ impl WorkloadService {
         }
     }
 
-    /// A metrics snapshot at the current virtual instant.
+    /// A metrics snapshot at the current virtual instant, with per-class
+    /// rows carrying the cluster's dollar attribution.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(
+        self.metrics.snapshot_with_billing(
             self.cluster.now(),
             self.cluster.billed(),
+            self.cluster.billed_by_class(),
             self.cluster.vms_in_flight(),
             self.cluster.vms_provisioned(),
         )
@@ -245,11 +339,12 @@ impl WorkloadService {
         &self.completions
     }
 
-    /// Replays an explicit arrival stream through the loop, then drains.
+    /// Replays an explicit arrival stream (possibly multi-class — each
+    /// arrival's tag routes it) through the loop, then drains.
     pub fn run_stream(&mut self, stream: &[ArrivingQuery]) -> CoreResult<StreamReport> {
         let mut snapshots = Vec::new();
         for (i, arrival) in stream.iter().enumerate() {
-            self.offer(arrival.template, arrival.arrival)?;
+            self.offer_as(arrival.template, arrival.class, arrival.arrival)?;
             if self.config.snapshot_every > 0 && (i + 1) % self.config.snapshot_every == 0 {
                 snapshots.push(self.snapshot());
             }
@@ -262,8 +357,9 @@ impl WorkloadService {
         })
     }
 
-    /// Draws `n` arrivals from `process` (seeded by the config) and runs
-    /// them through the loop, then drains.
+    /// Draws `n` arrivals from `process` (seeded by the config, tagged
+    /// with the default class) and runs them through the loop, then
+    /// drains.
     pub fn run_process(
         &mut self,
         process: &mut dyn ArrivalProcess,
@@ -292,8 +388,10 @@ impl WorkloadService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrivals::{generate_stream, PoissonProcess, TemplateMix};
-    use wisedb_advisor::ModelConfig;
+    use crate::arrivals::{
+        generate_class_stream, generate_stream, merge_streams, PoissonProcess, TemplateMix,
+    };
+    use wisedb_advisor::{ModelConfig, ModelGenerator};
     use wisedb_core::{GoalKind, Money, PerformanceGoal, VmType};
 
     fn spec() -> WorkloadSpec {
@@ -325,6 +423,36 @@ mod tests {
         WorkloadService::train(spec, goal, config()).unwrap()
     }
 
+    fn three_classes(spec: &WorkloadSpec) -> Vec<SlaClass> {
+        vec![
+            SlaClass::new(
+                "gold",
+                PerformanceGoal::paper_default(GoalKind::PerQuery, spec).unwrap(),
+            )
+            .with_priority(2),
+            SlaClass::new(
+                "silver",
+                PerformanceGoal::paper_default(GoalKind::MaxLatency, spec).unwrap(),
+            )
+            .with_priority(1),
+            SlaClass::new(
+                "bronze",
+                PerformanceGoal::paper_default(GoalKind::AverageLatency, spec).unwrap(),
+            ),
+        ]
+    }
+
+    fn tagged_stream(n_per_class: usize) -> Vec<ArrivingQuery> {
+        let streams = (0..3)
+            .map(|c| {
+                let mut process =
+                    PoissonProcess::per_second(0.02 + 0.01 * c as f64, TemplateMix::uniform(2));
+                generate_class_stream(&mut process, n_per_class, 100 + c as u64, TenantId(c))
+            })
+            .collect();
+        merge_streams(streams)
+    }
+
     #[test]
     fn stream_runs_end_to_end_and_completes_everything() {
         let mut svc = service(GoalKind::MaxLatency);
@@ -340,6 +468,12 @@ mod tests {
         assert_eq!(report.last.vms_in_flight, 0, "drained cluster is idle");
         // Latency covers execution at least: T2 is one minute.
         assert!(report.last.latency.p50 >= Millis::from_secs(60));
+        // The single class's row mirrors the fleet.
+        assert_eq!(report.last.classes.len(), 1);
+        assert_eq!(report.last.classes[0].completed, 30);
+        assert!(report.last.classes[0]
+            .billed
+            .approx_eq(report.last.billed, 1e-9));
     }
 
     #[test]
@@ -417,5 +551,148 @@ mod tests {
         assert_eq!(report.snapshots.len(), 2);
         assert!(report.snapshots[0].admitted <= report.snapshots[1].admitted);
         assert!(report.snapshots[0].at <= report.snapshots[1].at);
+    }
+
+    #[test]
+    fn three_classes_share_one_fleet() {
+        let spec = spec();
+        let classes = three_classes(&spec);
+        let mut svc = WorkloadService::train_classes(spec, classes, config()).unwrap();
+        let stream = tagged_stream(8);
+        let report = svc.run_stream(&stream).unwrap();
+        assert_eq!(report.last.admitted, 24);
+        assert_eq!(report.last.completed, 24);
+        assert_eq!(report.last.classes.len(), 3);
+        for (i, row) in report.last.classes.iter().enumerate() {
+            assert_eq!(row.class, TenantId(i as u32));
+            assert_eq!(row.admitted, 8, "{}", row.name);
+            assert_eq!(row.completed, 8, "{}", row.name);
+        }
+        // Every completion carries its class tag.
+        for c in &report.completions {
+            assert!(c.class.index() < 3);
+        }
+        // One shared fleet: dollar attribution sums to the bill.
+        let attributed: Money = report.last.classes.iter().map(|c| c.billed).sum();
+        assert!(attributed.approx_eq(report.last.billed, 1e-9));
+    }
+
+    #[test]
+    fn class_subset_and_unknown_class_are_rejected() {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let classes = vec![
+            SlaClass::new("narrow", goal.clone()).with_templates(vec![TemplateId(1)]),
+            SlaClass::new("open", goal),
+        ];
+        let mut svc = WorkloadService::train_classes(spec, classes, config()).unwrap();
+        assert!(matches!(
+            svc.offer_as(TemplateId(0), TenantId(0), Millis::ZERO),
+            Err(CoreError::TemplateNotInClass { .. })
+        ));
+        assert!(matches!(
+            svc.offer_as(TemplateId(0), TenantId(7), Millis::ZERO),
+            Err(CoreError::UnknownTenantClass { .. })
+        ));
+        // The allowed template of the narrow class is admitted.
+        assert!(svc
+            .offer_as(TemplateId(1), TenantId(0), Millis::from_secs(1))
+            .unwrap());
+    }
+
+    #[test]
+    fn priority_shed_protects_gold_under_overload() {
+        let spec = spec();
+        let classes = three_classes(&spec);
+        let mut cfg = config();
+        cfg.admission = AdmissionPolicy::PriorityShed {
+            base: 1,
+            per_priority: 3,
+        };
+        let mut svc = WorkloadService::train_classes(spec, classes, cfg).unwrap();
+        // A hard synchronized burst: 10 arrivals per class in 10 s.
+        let streams = (0..3)
+            .map(|c| {
+                let mut p = PoissonProcess::per_second(1.0, TemplateMix::uniform(2));
+                generate_class_stream(&mut p, 10, 7 + c as u64, TenantId(c))
+            })
+            .collect();
+        let report = svc.run_stream(&merge_streams(streams)).unwrap();
+        let rows = &report.last.classes;
+        assert!(
+            rows[2].rejected > rows[0].rejected,
+            "bronze ({}) must shed more than gold ({})",
+            rows[2].rejected,
+            rows[0].rejected
+        );
+        assert_eq!(report.last.admitted + report.last.rejected, 30);
+    }
+
+    #[test]
+    fn swap_model_takes_effect_without_disturbing_in_flight_work() {
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut svc = WorkloadService::train(spec.clone(), goal.clone(), config()).unwrap();
+
+        // Feed a burst so work is committed and queued mid-stream.
+        let stream = generate_stream(
+            &mut PoissonProcess::per_second(0.05, TemplateMix::uniform(2)),
+            10,
+            5,
+        );
+        for a in &stream[..5] {
+            svc.offer_as(a.template, a.class, a.arrival).unwrap();
+        }
+        let before = svc.completions().to_vec();
+
+        // Background-retrained replacement (different sampling seed).
+        let (model, artifacts) = ModelGenerator::new(
+            svc.scheduler(TenantId::DEFAULT)
+                .unwrap()
+                .base_model()
+                .spec_handle()
+                .clone(),
+            svc.classes()[0].goal.clone(),
+            config().online.training.with_seed(4242),
+        )
+        .train_with_artifacts()
+        .unwrap();
+        svc.swap_model(TenantId::DEFAULT, model.clone(), artifacts.clone())
+            .unwrap();
+
+        // Already-harvested completions are untouched by the swap.
+        assert_eq!(&svc.completions()[..before.len()], &before[..]);
+        // The swapped model is what plans the next arrival.
+        assert_eq!(
+            svc.scheduler(TenantId::DEFAULT)
+                .unwrap()
+                .base_model()
+                .render_tree(),
+            model.render_tree()
+        );
+        for a in &stream[5..] {
+            svc.offer_as(a.template, a.class, a.arrival).unwrap();
+        }
+        svc.drain();
+        let last = svc.snapshot();
+        assert_eq!(last.completed, 10, "service keeps running after a swap");
+
+        // A model for the wrong goal is rejected.
+        let other_goal = PerformanceGoal::paper_default(GoalKind::AverageLatency, &spec).unwrap();
+        let (bad, bad_artifacts) = ModelGenerator::new(
+            svc.scheduler(TenantId::DEFAULT)
+                .unwrap()
+                .base_model()
+                .spec_handle()
+                .clone(),
+            other_goal,
+            config().online.training,
+        )
+        .train_with_artifacts()
+        .unwrap();
+        assert!(matches!(
+            svc.swap_model(TenantId::DEFAULT, bad, bad_artifacts),
+            Err(CoreError::ModelMismatch { .. })
+        ));
     }
 }

@@ -21,7 +21,8 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use wisedb_core::{
-    CoreError, CoreResult, Millis, Money, QueryId, SpecHandle, TemplateId, VmTypeId, WorkloadSpec,
+    CoreError, CoreResult, Millis, Money, QueryId, SpecHandle, TemplateId, TenantId, VmTypeId,
+    WorkloadSpec,
 };
 
 use crate::generator::Gaussian;
@@ -63,6 +64,9 @@ pub struct QueuedQuery {
     /// The virtual time of the scheduling pass that queued it; it cannot
     /// start earlier even if the VM is idle.
     pub not_before: Millis,
+    /// The submitting tenant's SLA class (drives recall routing and
+    /// rental attribution).
+    pub class: TenantId,
 }
 
 /// A pending query pulled back off the cluster for rescheduling, tagged
@@ -75,6 +79,8 @@ pub struct RecalledQuery {
     pub query: QueryId,
     /// Its template.
     pub template: TemplateId,
+    /// Its SLA class.
+    pub class: TenantId,
 }
 
 /// One query's completed execution on the live cluster.
@@ -84,6 +90,8 @@ pub struct Completion {
     pub query: QueryId,
     /// Its template.
     pub template: TemplateId,
+    /// Its SLA class ([`TenantId::DEFAULT`] on single-class sessions).
+    pub class: TenantId,
     /// Index of the VM that ran it, in provisioning order.
     pub vm_index: usize,
     /// Execution start (virtual time).
@@ -127,6 +135,10 @@ pub struct LiveCluster {
     startup_billed: Money,
     /// Rental billed for committed execution time.
     runtime_billed: Money,
+    /// Dollar attribution per SLA class (index = [`TenantId`]): start-up
+    /// fees go to the class whose plan rented the VM, rental to the class
+    /// whose query executed. Sums to [`billed`](Self::billed) exactly.
+    billed_by_class: Vec<Money>,
 }
 
 impl LiveCluster {
@@ -149,7 +161,18 @@ impl LiveCluster {
             executing: Vec::new(),
             startup_billed: Money::ZERO,
             runtime_billed: Money::ZERO,
+            billed_by_class: Vec::new(),
         }
+    }
+
+    /// Adds `amount` to `class`'s dollar attribution, growing the ledger
+    /// on first sight of a class.
+    fn charge(&mut self, class: TenantId, amount: Money) {
+        let i = class.index();
+        if self.billed_by_class.len() <= i {
+            self.billed_by_class.resize(i + 1, Money::ZERO);
+        }
+        self.billed_by_class[i] += amount;
     }
 
     /// The session's workload specification.
@@ -163,15 +186,25 @@ impl LiveCluster {
     }
 
     /// Provisions a VM of `vm_type` at the current time, paying its
-    /// start-up fee. Returns the VM's index (provisioning order).
+    /// start-up fee (attributed to the default class). Returns the VM's
+    /// index (provisioning order).
     pub fn provision(&mut self, vm_type: VmTypeId) -> CoreResult<usize> {
+        self.provision_as(vm_type, TenantId::DEFAULT)
+    }
+
+    /// [`provision`](Self::provision) with the start-up fee attributed to
+    /// the SLA class whose plan rented the VM. The VM itself is shared —
+    /// any class may queue on it.
+    pub fn provision_as(&mut self, vm_type: VmTypeId, class: TenantId) -> CoreResult<usize> {
         let vt = self.spec.vm_type(vm_type)?;
+        let (startup_cost, startup_delay) = (vt.startup_cost, vt.startup_delay);
         let ready_at = if self.options.include_startup_delay {
-            self.now + vt.startup_delay
+            self.now + startup_delay
         } else {
             self.now
         };
-        self.startup_billed += vt.startup_cost;
+        self.startup_billed += startup_cost;
+        self.charge(class, startup_cost);
         self.vms.push(LiveVm {
             vm_type,
             avail: ready_at,
@@ -183,15 +216,28 @@ impl LiveCluster {
         Ok(self.vms.len() - 1)
     }
 
-    /// Queues `query` on VM `vm_index` behind its existing work. The query
-    /// cannot start before the current virtual time. Released VMs are
-    /// rejected — idle VMs release automatically and accept no further
-    /// work.
+    /// Queues `query` on VM `vm_index` behind its existing work, under the
+    /// default class. The query cannot start before the current virtual
+    /// time. Released VMs are rejected — idle VMs release automatically
+    /// and accept no further work.
     pub fn enqueue(
         &mut self,
         vm_index: usize,
         query: QueryId,
         template: TemplateId,
+    ) -> CoreResult<()> {
+        self.enqueue_as(vm_index, query, template, TenantId::DEFAULT)
+    }
+
+    /// [`enqueue`](Self::enqueue) with an SLA class tag: the class rides
+    /// the queue entry into the query's [`Completion`] and its rental
+    /// attribution.
+    pub fn enqueue_as(
+        &mut self,
+        vm_index: usize,
+        query: QueryId,
+        template: TemplateId,
+        class: TenantId,
     ) -> CoreResult<()> {
         let vm = self
             .vms
@@ -210,6 +256,7 @@ impl LiveCluster {
             query,
             template,
             not_before: self.now,
+            class,
         });
         Ok(())
     }
@@ -227,8 +274,35 @@ impl LiveCluster {
                     vm_index,
                     query: q.query,
                     template: q.template,
+                    class: q.class,
                 });
             }
+        }
+        out
+    }
+
+    /// Pulls back only `class`'s not-yet-started queries, in queue order,
+    /// leaving other classes' pending work in place — the multi-tenant
+    /// recall discipline: one class's replan never perturbs another's
+    /// queued placements. For a single-class session this is exactly
+    /// [`recall_pending`](Self::recall_pending).
+    pub fn recall_pending_of(&mut self, class: TenantId) -> Vec<RecalledQuery> {
+        let mut out = Vec::new();
+        for (vm_index, vm) in self.vms.iter_mut().enumerate() {
+            let mut kept = Vec::with_capacity(vm.pending.len());
+            for q in vm.pending.drain(..) {
+                if q.class == class {
+                    out.push(RecalledQuery {
+                        vm_index,
+                        query: q.query,
+                        template: q.template,
+                        class: q.class,
+                    });
+                } else {
+                    kept.push(q);
+                }
+            }
+            vm.pending = kept;
         }
         out
     }
@@ -247,6 +321,7 @@ impl LiveCluster {
     pub fn advance_to(&mut self, now: Millis) -> Vec<Completion> {
         let now = now.max(self.now);
         self.now = now;
+        let mut by_class = std::mem::take(&mut self.billed_by_class);
         for (v, vm) in self.vms.iter_mut().enumerate() {
             vm.running.retain(|&(_, finish)| finish > now);
             let mut started = 0;
@@ -270,16 +345,23 @@ impl LiveCluster {
                 self.executing.push(Completion {
                     query: q.query,
                     template: q.template,
+                    class: q.class,
                     vm_index: v,
                     start,
                     finish,
                 });
                 vm.busy += exec;
-                self.runtime_billed += self
+                let rental = self
                     .spec
                     .vm_type(vm.vm_type)
                     .expect("provision validated the type")
                     .runtime_cost(exec);
+                self.runtime_billed += rental;
+                // Rental attribution: the executing query's class pays.
+                if by_class.len() <= q.class.index() {
+                    by_class.resize(q.class.index() + 1, Money::ZERO);
+                }
+                by_class[q.class.index()] += rental;
                 vm.avail = finish;
                 if finish > now {
                     vm.running.push((q.template, finish));
@@ -291,6 +373,7 @@ impl LiveCluster {
                 vm.released = true;
             }
         }
+        self.billed_by_class = by_class;
         let mut completions: Vec<Completion> = Vec::new();
         self.executing.retain(|c| {
             if c.finish <= now {
@@ -323,15 +406,31 @@ impl LiveCluster {
 
     /// The most recently provisioned VM, if it can still accept work:
     /// its index (provisioning order) and the planner's view of it.
+    ///
+    /// The backlog covers committed work *and* queries still queued on the
+    /// VM (predicted latency), and `running` lists both populations: in
+    /// the single-class loop the queue is always empty here (everything
+    /// unstarted was just recalled), but a multi-tenant replan leaves
+    /// other classes' pending in place, and a plan that ignored it would
+    /// stack deadline-bound work behind invisible queues.
     pub fn open_vm(&self) -> Option<(usize, OpenVmView)> {
         let index = self.vms.len().checked_sub(1)?;
         let vm = self.vms.last().filter(|vm| !vm.released)?;
+        let mut running: Vec<TemplateId> = vm.running.iter().map(|&(t, _)| t).collect();
+        let mut backlog = vm.avail.saturating_sub(self.now);
+        for q in &vm.pending {
+            backlog += self
+                .spec
+                .latency(q.template, vm.vm_type)
+                .expect("enqueue validated the placement");
+            running.push(q.template);
+        }
         Some((
             index,
             OpenVmView {
                 vm_type: vm.vm_type,
-                running: vm.running.iter().map(|&(t, _)| t).collect(),
-                backlog: vm.avail.saturating_sub(self.now),
+                running,
+                backlog,
             },
         ))
     }
@@ -356,6 +455,15 @@ impl LiveCluster {
         self.vms.iter().map(|vm| vm.pending.len()).sum()
     }
 
+    /// Queries of one SLA class queued but not started, across all VMs.
+    pub fn pending_of(&self, class: TenantId) -> usize {
+        self.vms
+            .iter()
+            .flat_map(|vm| &vm.pending)
+            .filter(|q| q.class == class)
+            .count()
+    }
+
     /// Queries started but not yet finished at the current clock.
     pub fn executing(&self) -> usize {
         self.executing.len()
@@ -367,6 +475,23 @@ impl LiveCluster {
     /// for the same placements.
     pub fn billed(&self) -> Money {
         self.startup_billed + self.runtime_billed
+    }
+
+    /// Dollar attribution per SLA class, indexed by [`TenantId`] (classes
+    /// beyond the vector's length have been charged nothing). Start-up
+    /// fees belong to the class whose plan rented the VM, rental to the
+    /// class whose query executed; the entries sum to
+    /// [`billed`](Self::billed).
+    pub fn billed_by_class(&self) -> &[Money] {
+        &self.billed_by_class
+    }
+
+    /// One class's dollar attribution.
+    pub fn billed_for(&self, class: TenantId) -> Money {
+        self.billed_by_class
+            .get(class.index())
+            .copied()
+            .unwrap_or(Money::ZERO)
     }
 }
 
@@ -439,6 +564,7 @@ mod tests {
                 vm_index: 0,
                 query: QueryId(1),
                 template: TemplateId(1),
+                class: TenantId::DEFAULT,
             }]
         );
         assert_eq!(c.pending(), 0);
@@ -519,6 +645,62 @@ mod tests {
             c.enqueue(v, QueryId(0), TemplateId(0)),
             Err(CoreError::UnsupportedPlacement { .. })
         ));
+    }
+
+    #[test]
+    fn class_recall_leaves_other_classes_queued() {
+        let mut c = cluster(3);
+        let v = c.provision_as(VmTypeId(0), TenantId(1)).unwrap();
+        c.enqueue_as(v, QueryId(0), TemplateId(0), TenantId(0))
+            .unwrap();
+        c.enqueue_as(v, QueryId(1), TemplateId(1), TenantId(1))
+            .unwrap();
+        c.enqueue_as(v, QueryId(2), TemplateId(2), TenantId(0))
+            .unwrap();
+        assert_eq!(c.pending_of(TenantId(0)), 2);
+        assert_eq!(c.pending_of(TenantId(1)), 1);
+        // Recalling class 0 pulls its two queries in queue order and
+        // leaves class 1's untouched.
+        let recalled = c.recall_pending_of(TenantId(0));
+        assert_eq!(
+            recalled.iter().map(|r| r.query).collect::<Vec<_>>(),
+            vec![QueryId(0), QueryId(2)]
+        );
+        assert!(recalled.iter().all(|r| r.class == TenantId(0)));
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.pending_of(TenantId(1)), 1);
+        // The open VM's view accounts for the still-queued class-1 query.
+        let (_, open) = c.open_vm().unwrap();
+        let l1 = c.spec().latency(TemplateId(1), VmTypeId(0)).unwrap();
+        assert_eq!(open.backlog, l1);
+        assert_eq!(open.running, vec![TemplateId(1)]);
+    }
+
+    #[test]
+    fn class_billing_attribution_sums_to_the_total() {
+        let spec = tpch_like(3);
+        let mut c = LiveCluster::new(spec.clone(), LiveOptions::default());
+        // Class 1 rents the VM; classes 0 and 1 both execute on it.
+        let v = c.provision_as(VmTypeId(0), TenantId(1)).unwrap();
+        c.enqueue_as(v, QueryId(0), TemplateId(0), TenantId(0))
+            .unwrap();
+        c.enqueue_as(v, QueryId(1), TemplateId(1), TenantId(1))
+            .unwrap();
+        let done = c.drain();
+        assert_eq!(done[0].class, TenantId(0));
+        assert_eq!(done[1].class, TenantId(1));
+        let vt = spec.vm_type(VmTypeId(0)).unwrap();
+        let l0 = spec.latency(TemplateId(0), VmTypeId(0)).unwrap();
+        let l1 = spec.latency(TemplateId(1), VmTypeId(0)).unwrap();
+        assert!(c
+            .billed_for(TenantId(0))
+            .approx_eq(vt.runtime_cost(l0), 1e-9));
+        assert!(c
+            .billed_for(TenantId(1))
+            .approx_eq(vt.startup_cost + vt.runtime_cost(l1), 1e-9));
+        let attributed: Money = c.billed_by_class().iter().copied().sum();
+        assert!(attributed.approx_eq(c.billed(), 1e-9));
+        assert_eq!(c.billed_for(TenantId(9)), Money::ZERO);
     }
 
     #[test]

@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .queries()
         .iter()
         .zip(&times)
-        .map(|(q, &arrival)| ArrivingQuery {
-            template: q.template,
-            arrival,
-        })
+        .map(|(q, &arrival)| ArrivingQuery::new(q.template, arrival))
         .collect();
 
     let training = ModelConfig {

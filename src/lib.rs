@@ -117,16 +117,19 @@ pub use wisedb_sim as sim;
 pub mod prelude {
     pub use wisedb_advisor::baselines::{self, Heuristic};
     pub use wisedb_advisor::model::{DecisionModel, ModelConfig, ModelGenerator};
+    pub use wisedb_advisor::multi::MultiScheduler;
     pub use wisedb_advisor::online::{OnlineConfig, OnlineScheduler};
     pub use wisedb_advisor::strategy::{RecommenderConfig, StrategyRecommender};
     pub use wisedb_core::{
-        cost_breakdown, total_cost, CostBreakdown, GoalHandle, GoalKind, LatencySummary,
-        MetricsSnapshot, Millis, Money, PenaltyRate, PerformanceGoal, Query, QueryId,
-        QueryTemplate, Schedule, SpecHandle, TemplateId, VmType, VmTypeId, Workload, WorkloadSpec,
+        cost_breakdown, total_cost, ClassMetrics, CostBreakdown, GoalHandle, GoalKind,
+        LatencySummary, MetricsSnapshot, Millis, Money, PenaltyRate, PerformanceGoal, Query,
+        QueryId, QueryTemplate, Schedule, SlaClass, SpecHandle, TemplateId, TenantId, VmType,
+        VmTypeId, Workload, WorkloadSpec,
     };
     pub use wisedb_runtime::{
-        AdmissionPolicy, ArrivalProcess, DiurnalProcess, DriftProcess, OnOffProcess,
-        PoissonProcess, RuntimeConfig, StreamReport, TemplateMix, WorkloadService,
+        generate_class_stream, merge_streams, AdmissionPolicy, ArrivalProcess, DiurnalProcess,
+        DriftProcess, OnOffProcess, PoissonProcess, RuntimeConfig, StreamReport, TemplateMix,
+        WorkloadService,
     };
     pub use wisedb_search::astar::{AStarSearcher, OptimalSchedule};
     pub use wisedb_sim::{LiveCluster, LiveOptions};

@@ -25,10 +25,7 @@ fn stream(spec: &WorkloadSpec, n: usize, arrivals: Arrivals, seed: u64) -> Vec<A
         .queries()
         .iter()
         .zip(times)
-        .map(|(q, arrival)| ArrivingQuery {
-            template: q.template,
-            arrival,
-        })
+        .map(|(q, arrival)| ArrivingQuery::new(q.template, arrival))
         .collect()
 }
 
