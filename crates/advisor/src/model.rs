@@ -18,7 +18,7 @@ use wisedb_core::{
     WorkloadSpec,
 };
 use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
-use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig};
+use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig, SearchStrategy};
 
 use crate::batch::{self, BatchPlan};
 
@@ -33,8 +33,14 @@ pub struct ModelConfig {
     pub seed: u64,
     /// Decision-tree induction parameters.
     pub tree: TreeParams,
-    /// A* limits for the per-sample optimal searches.
-    #[serde(skip, default)]
+    /// Solver configuration for the per-sample searches: the expansion
+    /// budget **and** the [`SearchStrategy`] — training may safely use
+    /// beam/anytime solves (the learned model needs near-optimal decision
+    /// paths, not proofs), while exact remains the default so committed
+    /// models stay bit-identical. Serialized with the model config, so a
+    /// persisted training setup records which solver produced it; absent
+    /// fields default to the exact strategy.
+    #[serde(default)]
     pub search: SearchConfig,
     /// Worker threads for the per-sample A* solves, which are
     /// embarrassingly parallel. `0` means one per available CPU core; `1`
@@ -82,6 +88,13 @@ impl ModelConfig {
     /// [`threads`](ModelConfig::threads)).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-sample solver strategy (see
+    /// [`search`](ModelConfig::search)).
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.search.strategy = strategy;
         self
     }
 }
@@ -562,6 +575,26 @@ mod tests {
             back.schedule_batch(&w).unwrap(),
             model.schedule_batch(&w).unwrap()
         );
+    }
+
+    #[test]
+    fn model_config_serializes_search_strategy() {
+        let config = ModelConfig {
+            search: SearchConfig {
+                node_limit: 9_999,
+                strategy: SearchStrategy::Beam { width: 32 },
+                ..SearchConfig::default()
+            },
+            ..tiny_config()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.search, config.search);
+        assert_eq!(back.num_samples, config.num_samples);
+        // Legacy payloads without a `search` field default to exact.
+        let legacy: ModelConfig =
+            serde_json::from_str(&json.replace("\"search\"", "\"search_unused\"")).unwrap();
+        assert_eq!(legacy.search, SearchConfig::default());
     }
 
     #[test]

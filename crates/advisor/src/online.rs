@@ -84,12 +84,28 @@ impl Default for OnlineConfig {
             age_quantum: Millis::from_millis(250),
             oracle_search: SearchConfig {
                 node_limit: 200_000,
+                ..SearchConfig::default()
             },
             // Large enough that goal-scale workloads (tens of distinct
             // ageing patterns) never evict — bounded is purely a leak
             // guard, not a behaviour change.
             cache_capacity: 512,
         }
+    }
+}
+
+impl OnlineConfig {
+    /// Selects a [`wisedb_search::SearchStrategy`] for **every** solve this
+    /// scheduler performs: the per-arrival oracle replans
+    /// ([`Planner::Optimal`]) and any (re)training solves. The per-arrival
+    /// replan budget stays whatever
+    /// [`oracle_search`](OnlineConfig::oracle_search)`.node_limit` says —
+    /// an inexact strategy makes that budget a bounded-suboptimality
+    /// guarantee instead of a silent fallback.
+    pub fn with_strategy(mut self, strategy: wisedb_search::SearchStrategy) -> Self {
+        self.oracle_search.strategy = strategy;
+        self.training.search.strategy = strategy;
+        self
     }
 }
 

@@ -1,13 +1,19 @@
 //! Figure 18: online scheduling effectiveness — percent cost above an
 //! optimal (A*-per-batch) scheduler vs query arrival delay, 30 queries.
+//!
+//! The oracle arm honors `--strategy` / `WISEDB_STRATEGY` and
+//! `WISEDB_NODE_LIMIT`, so the per-batch replanner can be swept across
+//! exact/beam/anytime solvers without recompiling.
 
 use wisedb::advisor::{ArrivingQuery, OnlineConfig, OnlineScheduler, Planner};
 use wisedb::prelude::*;
-use wisedb_bench::{pct_above, Scale, Table};
+use wisedb_bench::{apply_search_overrides, pct_above, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
     let spec = wisedb::sim::catalog::tpch_like(10);
+    let mut oracle_search = OnlineConfig::default().oracle_search;
+    apply_search_overrides(&mut oracle_search);
     let delays_s = [0.0f64, 0.25, 0.5, 0.75, 1.0];
 
     let mut table = Table::new(
@@ -54,6 +60,7 @@ fn main() {
                 OnlineConfig {
                     planner: Planner::Optimal,
                     training: scale.training(),
+                    oracle_search: oracle_search.clone(),
                     ..OnlineConfig::default()
                 },
             )

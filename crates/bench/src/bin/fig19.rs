@@ -1,11 +1,15 @@
 //! Figure 19: average per-query scheduling overhead under the online
 //! optimizations (Shift+Reuse / Shift / Reuse / None), arrivals
 //! ~ N(250 ms, 125 ms) as in §7.4.
+//!
+//! `--strategy` / `WISEDB_STRATEGY` selects the solver for the in-loop
+//! retraining solves (the overhead being measured), so the sweep can show
+//! what inexact training buys per arrival.
 
 use wisedb::advisor::{ArrivingQuery, OnlineConfig, OnlineScheduler};
 use wisedb::prelude::*;
 use wisedb::sim::Arrivals;
-use wisedb_bench::{Scale, Table};
+use wisedb_bench::{apply_search_overrides, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,6 +24,7 @@ fn main() {
     // deployment would: the base model is trained at full scale once.
     let mut retrain_cfg = scale.training();
     retrain_cfg.num_samples = (retrain_cfg.num_samples / 4).max(50);
+    apply_search_overrides(&mut retrain_cfg.search);
 
     for kind in GoalKind::ALL {
         eprintln!("fig19: {}...", kind.name());

@@ -1,22 +1,74 @@
-//! Diagnostic: exact-oracle scalability on the paper's 30-query / 10-template
-//! workloads, per goal kind. Prints cost, proof status, and search effort.
+//! Diagnostic: oracle scalability on the paper's 30-query / 10-template
+//! workloads, per goal kind. Prints cost, proof status, the certified
+//! suboptimality bound, and search effort.
+//!
+//! Honors the shared solver overrides (`--strategy ...` /
+//! `WISEDB_STRATEGY`, `WISEDB_NODE_LIMIT`) plus:
+//!
+//! * `--n QUERIES` — workload size (default 30);
+//! * `--kinds a,b` — goal-kind filter by figure name
+//!   (`PerQuery,Average,Max,Percent`; default all);
+//! * `--require-bound PCT` — exit non-zero unless every probed solve
+//!   reports a suboptimality bound ≤ `PCT`% (the CI percentile-pathology
+//!   smoke gate).
 
 fn main() {
     use wisedb::prelude::*;
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let n: usize = flag("--n").map(|s| s.parse().expect("--n")).unwrap_or(30);
+    let kinds: Vec<GoalKind> = match flag("--kinds") {
+        None => GoalKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                GoalKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(name.trim()))
+                    .unwrap_or_else(|| panic!("unknown goal kind {name:?}"))
+            })
+            .collect(),
+    };
+    let require_bound: Option<f64> = flag("--require-bound").map(|s| s.parse().expect("pct"));
+
     let spec = wisedb::sim::catalog::tpch_like(10);
-    for kind in GoalKind::ALL {
+    let config = wisedb_bench::oracle_config();
+    println!("oracle probe: {n} queries, strategy {}", config.strategy);
+    let mut worst_bound: f64 = 1.0;
+    for kind in kinds {
         let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
-        let workload = wisedb::sim::generator::uniform_workload(&spec, 30, 42);
+        let workload = wisedb::sim::generator::uniform_workload(&spec, n, 42);
         let t = std::time::Instant::now();
-        let r = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
+        let r = Solver::new(&spec, &goal)
+            .with_config(config.clone())
+            .solve(&workload)
+            .unwrap();
+        worst_bound = worst_bound.max(r.stats.bound);
         println!(
-            "{:<10} cost={} optimal={} expanded={} reopened={} time={:.2}s",
+            "{:<10} cost={} optimal={} bound={:.4} expanded={} reopened={} incumbents={} \
+             pruned={} limit_hit={} time={:.2}s",
             kind.name(),
             r.cost,
             r.stats.optimal,
+            r.stats.bound,
             r.stats.expanded,
             r.stats.reopened,
+            r.stats.incumbents,
+            r.stats.pruned,
+            r.stats.limit_hit,
             t.elapsed().as_secs_f64()
         );
+    }
+    if let Some(pct) = require_bound {
+        let limit = 1.0 + pct / 100.0;
+        if worst_bound > limit {
+            eprintln!("oracle probe: worst bound {worst_bound:.4} exceeds required {limit:.4}");
+            std::process::exit(1);
+        }
+        println!("oracle probe: all bounds within {pct}% of optimal");
     }
 }

@@ -1,10 +1,11 @@
 //! Hot-path regression harness.
 //!
-//! Runs the four hot-path benches — the A* kernel (one optimal solve per
-//! goal kind), batch scheduling throughput, the streaming event loop, and
-//! the multi-tenant consolidation loop (3 SLA classes, shared vs isolated
-//! fleets) — writes `BENCH_current.json`, and diffs it against the
-//! committed
+//! Runs the five hot-path benches — the A* kernel (one optimal solve per
+//! goal kind), the percentile-pathology strategy guard (beam + anytime
+//! under a tight budget, certified-bound counters compared exactly), batch
+//! scheduling throughput, the streaming event loop, and the multi-tenant
+//! consolidation loop (3 SLA classes, shared vs isolated fleets) — writes
+//! `BENCH_current.json`, and diffs it against the committed
 //! `crates/bench/BENCH_baseline.json` (see [`wisedb_bench::regress`] for
 //! the comparison semantics: counters exact, times informational unless
 //! `WISEDB_REGRESS_TIME_TOL` is set).
@@ -202,6 +203,67 @@ fn streaming_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+/// The percentile-pathology strategy guard: beam and anytime solves of the
+/// scenario that motivated the strategy layer, under a tight expansion
+/// budget. Fully deterministic, so the certified suboptimality bound and
+/// the new strategy counters (incumbent improvements, beam prunes) are
+/// compared exactly — a solver change that silently loosens the bound or
+/// does more work fails the diff.
+fn strategy_pathology(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::Percentile, &spec).unwrap();
+    let (queries, budget) = match scale {
+        Scale::Quick => (14usize, 20_000usize),
+        _ => (18, 50_000),
+    };
+    let workload = wisedb::sim::generator::uniform_workload(&spec, queries, 42);
+    for strategy in [
+        SearchStrategy::Beam { width: 64 },
+        SearchStrategy::anytime(),
+    ] {
+        let bench = format!(
+            "strategy_pathology/{}{}q",
+            match strategy {
+                SearchStrategy::Beam { .. } => "beam",
+                _ => "anytime",
+            },
+            queries
+        );
+        let config = SearchConfig {
+            node_limit: budget,
+            strategy,
+            ..SearchConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let result = Solver::new(&spec, &goal)
+            .with_config(config)
+            .solve(&workload)
+            .unwrap();
+        let elapsed = started.elapsed();
+        let stats = result.stats;
+        out.push(Measurement::new(
+            &bench,
+            "time_ms",
+            ms(elapsed),
+            MetricKind::Time,
+        ));
+        for (metric, value) in [
+            ("expanded", stats.expanded as f64),
+            ("interned", stats.interned as f64),
+            ("incumbents", stats.incumbents as f64),
+            ("pruned", stats.pruned as f64),
+            ("bound_pct", (stats.bound - 1.0) * 100.0),
+            ("cost_cents", result.cost.as_cents()),
+        ] {
+            out.push(Measurement::new(&bench, metric, value, MetricKind::Counter));
+        }
+        eprintln!(
+            "  {bench}: {elapsed:?} (cost {}, bound {:.4}, {} expanded)",
+            result.cost, stats.bound, stats.expanded
+        );
+    }
+}
+
 fn multitenant_loop(scale: Scale, out: &mut Vec<Measurement>) {
     let spec = wisedb::sim::catalog::tpch_like(10);
     let n = wisedb_bench::multitenant::arrivals_per_class(scale);
@@ -273,6 +335,7 @@ fn main() {
 
     let mut measurements = Vec::new();
     astar_kernel(scale, &mut measurements);
+    strategy_pathology(scale, &mut measurements);
     batch_throughput(scale, &mut measurements);
     streaming_loop(scale, &mut measurements);
     multitenant_loop(scale, &mut measurements);

@@ -107,24 +107,99 @@ pub fn pct_above(x: Money, reference: Money) -> f64 {
     (x.as_dollars() / reference.as_dollars() - 1.0) * 100.0
 }
 
-/// The optimal-schedule oracle used by the "vs Optimal" figures: A* with a
-/// node budget (override with `WISEDB_ORACLE_LIMIT`). Returns the cost and
-/// whether optimality was *proven* (limit not hit); unproven values are
-/// best-found upper bounds and are flagged in the reports.
+/// The search strategy requested for this bench run, if any: the
+/// `--strategy` CLI flag wins, then the `WISEDB_STRATEGY` environment
+/// variable (`exact` | `beam[:width]` | `anytime[:weight[:decay]]`).
+/// Invalid values abort with the parse error — a nightly sweep must not
+/// silently fall back to the default solver.
+pub fn strategy_override() -> Option<wisedb_search::SearchStrategy> {
+    let args: Vec<String> = std::env::args().collect();
+    let from_cli = args
+        .iter()
+        .position(|a| a == "--strategy")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--strategy requires a value"))
+                .clone()
+        })
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--strategy=").map(str::to_string))
+        });
+    let raw = from_cli.or_else(|| std::env::var("WISEDB_STRATEGY").ok())?;
+    Some(raw.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
+/// The expansion-budget override, if any: `WISEDB_NODE_LIMIT` (all
+/// strategies honor it — see
+/// [`SearchConfig::node_limit`](wisedb_search::SearchConfig::node_limit)).
+pub fn node_limit_override() -> Option<usize> {
+    let raw = std::env::var("WISEDB_NODE_LIMIT").ok()?;
+    Some(
+        raw.parse()
+            .unwrap_or_else(|_| panic!("invalid WISEDB_NODE_LIMIT {raw:?}")),
+    )
+}
+
+/// The oracle's solver configuration: exact A* with a 2 M-expansion budget
+/// by default; `WISEDB_ORACLE_LIMIT` (legacy) or `WISEDB_NODE_LIMIT` set
+/// the budget, and [`strategy_override`] selects the strategy — so nightly
+/// can sweep `exact`/`beam`/`anytime` oracles without recompiling.
+pub fn oracle_config() -> wisedb_search::SearchConfig {
+    let mut config = wisedb_search::SearchConfig {
+        node_limit: std::env::var("WISEDB_ORACLE_LIMIT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000_000usize),
+        ..wisedb_search::SearchConfig::default()
+    };
+    if let Some(limit) = node_limit_override() {
+        config.node_limit = limit;
+    }
+    if let Some(strategy) = strategy_override() {
+        config.strategy = strategy;
+    }
+    config
+}
+
+/// Applies the `--strategy`/`WISEDB_STRATEGY` and `WISEDB_NODE_LIMIT`
+/// overrides to an existing solver configuration, leaving other tunables
+/// (e.g. a bench's own default budget) untouched.
+pub fn apply_search_overrides(config: &mut wisedb_search::SearchConfig) {
+    if let Some(limit) = node_limit_override() {
+        config.node_limit = limit;
+    }
+    if let Some(strategy) = strategy_override() {
+        config.strategy = strategy;
+    }
+}
+
+/// The optimal-schedule oracle used by the "vs Optimal" figures: the
+/// [`oracle_config`] solver (exact A* with a node budget unless
+/// overridden). Returns the cost and whether optimality was *proven*;
+/// unproven values are best-found upper bounds and are flagged in the
+/// reports.
 pub fn oracle_cost(
     spec: &WorkloadSpec,
     goal: &PerformanceGoal,
     workload: &wisedb_core::Workload,
 ) -> (Money, bool) {
-    let limit = std::env::var("WISEDB_ORACLE_LIMIT")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000usize);
-    let result = wisedb_search::AStarSearcher::new(spec, goal)
-        .with_config(wisedb_search::SearchConfig { node_limit: limit })
+    let (cost, stats) = oracle_cost_detailed(spec, goal, workload);
+    (cost, stats.optimal)
+}
+
+/// Like [`oracle_cost`], also returning the full search counters (the
+/// suboptimality bound, incumbent improvements, prunes).
+pub fn oracle_cost_detailed(
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    workload: &wisedb_core::Workload,
+) -> (Money, wisedb_search::SearchStats) {
+    let result = wisedb_search::Solver::new(spec, goal)
+        .with_config(oracle_config())
         .solve(workload)
         .expect("oracle search on catalog specs succeeds");
-    (result.cost, result.stats.optimal)
+    (result.cost, result.stats)
 }
 
 /// Formats an oracle cost, starring unproven (upper-bound) values.

@@ -222,7 +222,7 @@ impl PerformanceGoal {
                 count: 0,
             },
             PerformanceGoal::Percentile { .. } => PenaltyTracker::Percentile {
-                sorted_ms: Arc::new(Vec::new()),
+                dist: PercentileDigest::new(),
             },
         }
     }
@@ -315,6 +315,133 @@ impl PerformanceGoal {
     }
 }
 
+/// Quantized latency distribution for percentile goals: ascending distinct
+/// completion values with their multiplicities, behind a copy-on-write
+/// [`Arc`].
+///
+/// Completion times are sums of template execution times, so schedules at
+/// paper scale produce far fewer *distinct* values than completions — the
+/// run-length buckets are the "quantized penalty digest" the percentile
+/// search keys and prices states with. Cloning is an `Arc` bump; pushing
+/// copies only when the buckets are shared. Any order statistic is an
+/// `O(buckets)` cumulative-count walk, and the search heuristic can merge
+/// the digest with a second bucket list without materializing or sorting
+/// the underlying multiset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PercentileDigest {
+    /// Packed `(latency_ms << 16) | count` buckets, ascending by latency
+    /// (one `u64` per bucket keeps the per-state hashing/equality byte
+    /// count no larger than the flat sorted vector it replaced).
+    buckets: Arc<Vec<u64>>,
+    /// Total completions (sum of all counts).
+    total: u64,
+}
+
+/// Bits of each packed bucket holding the multiplicity.
+const COUNT_BITS: u32 = 16;
+/// Mask extracting the multiplicity from a packed bucket.
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+
+impl PercentileDigest {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        PercentileDigest::default()
+    }
+
+    /// Number of completions recorded (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no completion has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `(latency_ms, count)` buckets, ascending by latency. Buckets of
+    /// equal latency may repeat when a multiplicity overflows the packed
+    /// count field; cumulative-count walks handle that transparently.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.buckets
+            .iter()
+            .map(|&b| (b >> COUNT_BITS, (b & COUNT_MASK) as u32))
+    }
+
+    /// Records one completion. Copy-on-write: only materializes a copy of
+    /// the bucket vector when it is shared with another digest.
+    pub fn push(&mut self, ms: u64) {
+        debug_assert!(ms < (1 << (64 - COUNT_BITS)), "latency {ms}ms overflows");
+        let buckets = Arc::make_mut(&mut self.buckets);
+        // Packed buckets order by latency first, so the insertion point for
+        // `ms` is right after every bucket of a smaller latency.
+        let pos = buckets.partition_point(|&b| (b >> COUNT_BITS) < ms);
+        match buckets.get_mut(pos) {
+            Some(b) if (*b >> COUNT_BITS) == ms && (*b & COUNT_MASK) < COUNT_MASK => *b += 1,
+            _ => buckets.insert(pos, (ms << COUNT_BITS) | 1),
+        }
+        self.total += 1;
+    }
+
+    /// The `k`-th smallest recorded latency (1-based, `k <= len()`).
+    /// Walks the cumulative counts from whichever end is nearer to `k`, so
+    /// the high percentiles SLAs ask about (and the tracker prices on
+    /// every placement edge) touch only the top few buckets.
+    pub fn value_at_rank(&self, k: u64) -> u64 {
+        debug_assert!(k >= 1 && k <= self.total, "rank {k} of {}", self.total);
+        if k > self.total / 2 {
+            // Rank from the top: the k-th smallest has `total - k` values
+            // strictly above it.
+            let mut above = 0u64;
+            for &b in self.buckets.iter().rev() {
+                above += b & COUNT_MASK;
+                if above > self.total - k {
+                    return b >> COUNT_BITS;
+                }
+            }
+        } else {
+            let mut seen = 0u64;
+            for &b in self.buckets.iter() {
+                seen += b & COUNT_MASK;
+                if seen >= k {
+                    return b >> COUNT_BITS;
+                }
+            }
+        }
+        self.buckets.last().map(|&b| b >> COUNT_BITS).unwrap_or(0)
+    }
+
+    /// The `k`-th smallest of this distribution merged with a second
+    /// ascending bucket list — the percentile heuristic's order-statistic
+    /// lower bound, computed in `O(buckets + extra.len())` without
+    /// materializing the union.
+    pub fn value_at_rank_merged(&self, k: u64, extra: &[(u64, u32)]) -> u64 {
+        debug_assert!(extra.windows(2).all(|w| w[0].0 < w[1].0));
+        let a = &self.buckets;
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut seen = 0u64;
+        let mut last = 0u64;
+        while i < a.len() || j < extra.len() {
+            let (v, count) =
+                if j >= extra.len() || (i < a.len() && (a[i] >> COUNT_BITS) <= extra[j].0) {
+                    let b = a[i];
+                    i += 1;
+                    (b >> COUNT_BITS, b & COUNT_MASK)
+                } else {
+                    let x = extra[j];
+                    j += 1;
+                    (x.0, x.1 as u64)
+                };
+            seen += count;
+            last = v;
+            if seen >= k {
+                return v;
+            }
+        }
+        debug_assert!(false, "rank {k} exceeds merged size {seen}");
+        last
+    }
+}
+
 /// Incremental penalty state. Pushing a completion returns the penalty
 /// *delta*, so graph edges get `p(R, v_s) - p(R, u_s)` directly.
 #[derive(Debug, Clone, PartialEq)]
@@ -332,13 +459,14 @@ pub enum PenaltyTracker {
         /// Number of completions.
         count: u64,
     },
-    /// Percentile goals need the whole latency distribution. The vector is
-    /// behind an [`Arc`] with copy-on-write pushes, so cloning a tracker —
-    /// which A* does for every partial-schedule vertex — shares the
-    /// distribution instead of copying it.
+    /// Percentile goals need the whole latency distribution, kept as the
+    /// quantized [`PercentileDigest`]: run-length buckets behind a
+    /// copy-on-write [`Arc`], so cloning a tracker — which A* does for
+    /// every partial-schedule vertex — shares the distribution instead of
+    /// copying it, and order statistics never re-sort.
     Percentile {
-        /// Completion latencies in ascending order, in milliseconds.
-        sorted_ms: Arc<Vec<u64>>,
+        /// The bucketed completion-latency distribution.
+        dist: PercentileDigest,
     },
 }
 
@@ -383,13 +511,10 @@ impl PenaltyTracker {
                 this.penalty(goal) - before
             }
             (this @ PenaltyTracker::Percentile { .. }, PerformanceGoal::Percentile { .. }) => {
-                if let PenaltyTracker::Percentile { sorted_ms } = this {
-                    let ms = completion.as_millis();
-                    // Copy-on-write: only materializes a copy when the
-                    // distribution is shared with another tracker.
-                    let sorted = Arc::make_mut(sorted_ms);
-                    let pos = sorted.partition_point(|&x| x <= ms);
-                    sorted.insert(pos, ms);
+                if let PenaltyTracker::Percentile { dist } = this {
+                    // Copy-on-write inside the digest: only materializes a
+                    // copy when the buckets are shared with another tracker.
+                    dist.push(completion.as_millis());
                 }
                 this.penalty(goal) - before
             }
@@ -412,23 +537,23 @@ impl PenaltyTracker {
                 rate.for_violation(mean.saturating_sub(*target))
             }
             (
-                PenaltyTracker::Percentile { sorted_ms },
+                PenaltyTracker::Percentile { dist },
                 PerformanceGoal::Percentile {
                     percent,
                     deadline,
                     rate,
                 },
             ) => {
-                if sorted_ms.is_empty() {
+                if dist.is_empty() {
                     return Money::ZERO;
                 }
                 // Nearest-rank percentile: the k-th smallest latency with
                 // k = ceil(percent/100 * n) is the latency within which
                 // `percent`% of queries finished.
-                let n = sorted_ms.len();
-                let k = ((percent / 100.0) * n as f64).ceil() as usize;
+                let n = dist.len();
+                let k = ((percent / 100.0) * n as f64).ceil() as u64;
                 let k = k.clamp(1, n);
-                let at_percentile = Millis::from_millis(sorted_ms[k - 1]);
+                let at_percentile = Millis::from_millis(dist.value_at_rank(k));
                 rate.for_violation(at_percentile.saturating_sub(*deadline))
             }
             _ => panic!("penalty tracker used with a goal of a different kind"),
@@ -450,9 +575,7 @@ impl PenaltyTracker {
             },
             // An Arc bump, not a copy of the distribution: keying a search
             // vertex is O(1) even for percentile goals.
-            PenaltyTracker::Percentile { sorted_ms } => {
-                PenaltyDigest::Percentile(Arc::clone(sorted_ms))
-            }
+            PenaltyTracker::Percentile { dist } => PenaltyDigest::Percentile(dist.clone()),
         }
     }
 }
@@ -470,9 +593,10 @@ pub enum PenaltyDigest {
         /// Number of completions.
         count: u64,
     },
-    /// Full latency distribution (ms, ascending), shared with the tracker
-    /// that produced it. `Hash`/`Eq` go through the contents.
-    Percentile(Arc<Vec<u64>>),
+    /// Full latency distribution as quantized run-length buckets, shared
+    /// with the tracker that produced it. `Hash`/`Eq` go through the
+    /// bucket contents — two digests match iff the underlying multisets do.
+    Percentile(PercentileDigest),
 }
 
 #[cfg(test)]
@@ -695,6 +819,87 @@ mod tests {
             bad.validate_against(&spec),
             Err(CoreError::InvalidPercentile { .. })
         ));
+    }
+
+    /// The quantized digest is an exact representation: every order
+    /// statistic matches the naive sorted vector, pushed in any order.
+    #[test]
+    fn percentile_digest_matches_naive_sort() {
+        let values = [120u64, 60, 180, 60, 240, 60, 120, 300, 180, 60];
+        let mut digest = PercentileDigest::new();
+        let mut naive: Vec<u64> = Vec::new();
+        for &v in &values {
+            digest.push(v);
+            naive.push(v);
+        }
+        naive.sort_unstable();
+        assert_eq!(digest.len(), naive.len() as u64);
+        for k in 1..=naive.len() {
+            assert_eq!(
+                digest.value_at_rank(k as u64),
+                naive[k - 1],
+                "rank {k} of {naive:?}"
+            );
+        }
+        // Buckets are run-length encoded and ascending.
+        let buckets: Vec<(u64, u32)> = digest.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(60, 4), (120, 2), (180, 2), (240, 1), (300, 1)]
+        );
+    }
+
+    /// Merged order statistics (digest ∪ extra buckets) match sorting the
+    /// materialized union — the contract the search heuristic relies on.
+    #[test]
+    fn percentile_digest_merged_rank_matches_naive_merge() {
+        let mut digest = PercentileDigest::new();
+        for v in [90u64, 150, 150, 210, 400] {
+            digest.push(v);
+        }
+        let extra: &[(u64, u32)] = &[(60, 2), (150, 1), (399, 3)];
+        let mut naive: Vec<u64> = vec![90, 150, 150, 210, 400, 60, 60, 150, 399, 399, 399];
+        naive.sort_unstable();
+        for k in 1..=naive.len() {
+            assert_eq!(
+                digest.value_at_rank_merged(k as u64, extra),
+                naive[k - 1],
+                "merged rank {k}"
+            );
+        }
+    }
+
+    /// Pushing past the packed 16-bit multiplicity spills into a second
+    /// bucket of the same value without corrupting any rank.
+    #[test]
+    fn percentile_digest_count_overflow_spills() {
+        let mut digest = PercentileDigest::new();
+        let n = (1u64 << 16) + 10; // 65546 identical completions
+        for _ in 0..n {
+            digest.push(42);
+        }
+        digest.push(7);
+        assert_eq!(digest.len(), n + 1);
+        assert_eq!(digest.value_at_rank(1), 7);
+        assert_eq!(digest.value_at_rank(2), 42);
+        assert_eq!(digest.value_at_rank(n + 1), 42);
+        assert!(digest.buckets().count() >= 3, "overflow spilled a bucket");
+    }
+
+    /// Copy-on-write: cloning shares the buckets; pushing into the clone
+    /// leaves the original untouched.
+    #[test]
+    fn percentile_digest_clone_is_cow() {
+        let mut a = PercentileDigest::new();
+        a.push(100);
+        let mut b = a.clone();
+        b.push(50);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.value_at_rank(1), 100);
+        assert_eq!(b.value_at_rank(1), 50);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
     }
 
     #[test]

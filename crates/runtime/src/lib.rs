@@ -20,7 +20,12 @@
 //!   swaps) to `LiveCluster` (incremental provisioning, execution,
 //!   per-class billing). Multiple tenant SLA classes multiplex onto one
 //!   shared fleet via [`WorkloadService::train_classes`]; a single-class
-//!   service is bit-identical to the legacy single-goal one.
+//!   service is bit-identical to the legacy single-goal one. Every solve
+//!   the service triggers — (re)training and per-arrival oracle replans —
+//!   runs whichever `wisedb_search::SearchStrategy` the embedded
+//!   `OnlineConfig` selects (`OnlineConfig::with_strategy`): exact A* by
+//!   default, or bounded-suboptimality beam/anytime replanning under the
+//!   per-arrival expansion budget.
 //!
 //! ## Quickstart
 //!

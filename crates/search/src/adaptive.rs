@@ -18,7 +18,7 @@
 
 use wisedb_core::{CoreResult, PerformanceGoal, Workload, WorkloadSpec};
 
-use crate::astar::{AStarSearcher, HeuristicMemo, OptimalSchedule, SearchConfig};
+use crate::strategy::{HeuristicMemo, OptimalSchedule, SearchConfig, Solver};
 
 /// Per-workload adaptive search state: solve once, then re-solve cheaply for
 /// any sequence of monotonically *tightening* goals.
@@ -52,6 +52,15 @@ impl AdaptiveSearcher {
     /// inadmissible. For those goals this method degenerates to a fresh A*
     /// (which still benefits from the strengthened base heuristic), keeping
     /// every returned schedule provably optimal.
+    ///
+    /// With an inexact [`crate::strategy::SearchStrategy`] in `config`
+    /// (beam/anytime), the memo is still *consulted* — layering more
+    /// admissible information under an inflated heuristic is sound — but
+    /// new entries are recorded only from solves whose result is **provably
+    /// optimal** ([`crate::strategy::SearchStats::optimal`]): Lemma 5.1's
+    /// `h'(v) = cost(R, g) − cost(R, v)` is admissible only when
+    /// `cost(R, g)` is the true optimum, so a suboptimal incumbent must
+    /// never seed the memo.
     pub fn solve(
         &mut self,
         spec: &WorkloadSpec,
@@ -60,14 +69,14 @@ impl AdaptiveSearcher {
         config: SearchConfig,
     ) -> CoreResult<OptimalSchedule> {
         let reuse = goal.is_monotone();
-        let searcher = AStarSearcher::new(spec, goal).with_config(config);
+        let searcher = Solver::new(spec, goal).with_config(config);
         let searcher = if reuse {
             searcher.with_memo(&self.memo)
         } else {
             searcher
         };
         let (result, explored) = searcher.solve_with_explored(workload)?;
-        if reuse {
+        if reuse && result.stats.optimal {
             let goal_cost = result.cost.as_dollars();
             for (key, g) in explored {
                 let h = goal_cost - g;
@@ -84,6 +93,7 @@ impl AdaptiveSearcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::astar::AStarSearcher;
     use wisedb_core::{GoalKind, Millis, VmType};
 
     fn spec() -> WorkloadSpec {

@@ -1,671 +1,32 @@
-//! A* search for minimum-cost schedules (§4.3).
+//! Compatibility surface for the pre-strategy A* API.
 //!
-//! A path from the start vertex (everything unassigned) to any goal vertex
-//! (nothing unassigned) spells out a complete schedule, and its weight is
-//! exactly `cost(R, S)` — so the shortest path *is* the optimal schedule.
-//!
-//! The searcher tolerates negative placement edges (average-latency goals can
-//! refund penalty when a fast query lowers the mean) by allowing node
-//! reopening; because every placement consumes a query and start-ups require
-//! a non-empty previous VM, the graph is a finite DAG and the search always
-//! terminates. With an admissible heuristic, the first goal vertex *popped*
-//! is optimal even when the heuristic is inconsistent.
-//!
-//! ## Interned hot path
-//!
-//! Every distinct vertex is interned to a dense `u32` id on first sight, so
-//! the per-expansion tables — best-known g, the cached heuristic value, and
-//! the explored set — are flat `Vec`s indexed by id rather than hash maps
-//! keyed by deep [`StateKey`]s. Combined with the structural sharing inside
-//! [`SearchState`] (persistent queues, copy-on-write counts and penalty
-//! distributions), expanding a node costs one key hash and O(successors)
-//! small allocations instead of deep clones of the whole vertex. The
-//! [`SearchStats::interned`] counter exposes the dedup-table size.
+//! The solver now lives in [`crate::strategy`]: one [`Solver`] entry point
+//! running a pluggable [`crate::strategy::SearchStrategy`] (exact A*, beam,
+//! anytime weighted A*) over the shared interned-state machinery. The
+//! historical [`AStarSearcher`] name is an alias of [`Solver`]; with the
+//! default configuration it behaves **bit-identically** to the old
+//! monolithic exact searcher (asserted by `tests/strategy_solver.rs` and
+//! the differential goldens in `tests/search_interned.rs`).
 
-use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
-
-use wisedb_core::{
-    CoreResult, Money, PerformanceGoal, Schedule, VmInstance, Workload, WorkloadSpec,
+pub use crate::strategy::{
+    solve_counts, DecisionStep, ExploredStates, HeuristicMemo, OptimalSchedule, Plan, SearchConfig,
+    SearchOutcome, SearchStats, Solver,
 };
 
-use crate::canonical::CanonicalOrder;
-use crate::decision::Decision;
-use crate::heuristic::HeuristicTable;
-use crate::state::{SearchState, StateKey};
-
-/// Float slack when comparing path costs, in dollars.
-const G_EPS: f64 = 1e-12;
-
-/// Tunables for one search.
-#[derive(Debug, Clone)]
-pub struct SearchConfig {
-    /// Maximum number of expansions before the search gives up and returns
-    /// its incumbent (flagged non-optimal). Guards against pathological
-    /// non-monotone instances; the paper-scale workloads stay far below it.
-    pub node_limit: usize,
-}
-
-impl Default for SearchConfig {
-    fn default() -> Self {
-        SearchConfig {
-            node_limit: 4_000_000,
-        }
-    }
-}
-
-/// Counters describing one search.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Vertices popped and expanded.
-    pub expanded: u64,
-    /// Successor states generated.
-    pub generated: u64,
-    /// Times a better path to an already-seen vertex was found.
-    pub reopened: u64,
-    /// Distinct vertices interned (allocated a dense id / key entry) during
-    /// the search — the size of the dedup table, and the unit the interning
-    /// refactor's allocation savings scale with.
-    pub interned: u64,
-    /// Whether the result is provably optimal (node limit not hit).
-    pub optimal: bool,
-}
-
-/// One decision on the optimal path together with the vertex it was taken
-/// from — the raw material of the training set (§4.4).
-#[derive(Debug, Clone)]
-pub struct DecisionStep {
-    /// The vertex (partial schedule + remaining work) at decision time.
-    pub state: SearchState,
-    /// The decision the optimal path took there.
-    pub decision: Decision,
-}
-
-/// The outcome of a search: the schedule, its cost, and the annotated path.
-#[derive(Debug, Clone)]
-pub struct OptimalSchedule {
-    /// The minimum-cost complete schedule.
-    pub schedule: Schedule,
-    /// Its total cost `cost(R, S)`.
-    pub cost: Money,
-    /// The decisions along the optimal path, with their origin vertices.
-    pub steps: Vec<DecisionStep>,
-    /// Search counters.
-    pub stats: SearchStats,
-}
-
-/// A decision sequence from an arbitrary initial vertex (no query-id
-/// replay) — what online scheduling consumes.
-#[derive(Debug, Clone)]
-pub struct Plan {
-    /// Decisions in application order.
-    pub decisions: Vec<Decision>,
-    /// The decisions annotated with their origin vertices.
-    pub steps: Vec<DecisionStep>,
-    /// Cost of the planned continuation (from the initial vertex).
-    pub cost: Money,
-    /// Search counters.
-    pub stats: SearchStats,
-}
-
-/// Extra per-vertex heuristic values (in dollars) layered on top of the base
-/// heuristic — the mechanism behind adaptive A* (§5). Keys are Arc-backed
-/// [`StateKey`]s, so storing one is reference bumps; the searcher consults
-/// the memo at most once per *distinct* vertex (the per-id `h` cache
-/// remembers the combined value for every regeneration).
-#[derive(Debug, Clone, Default)]
-pub struct HeuristicMemo {
-    values: HashMap<StateKey, f64>,
-}
-
-impl HeuristicMemo {
-    /// An empty memo.
-    pub fn new() -> Self {
-        HeuristicMemo::default()
-    }
-
-    /// Number of vertices with reuse information.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Whether the memo holds no reuse information.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// The memoized heuristic for `key`, if any.
-    pub fn get(&self, key: &StateKey) -> Option<f64> {
-        self.values.get(key).copied()
-    }
-
-    /// Records `h` for `key`, keeping the maximum of all observations
-    /// (`max(h, h')` stays admissible when each input is).
-    pub fn raise(&mut self, key: StateKey, h: f64) {
-        let slot = self.values.entry(key).or_insert(f64::NEG_INFINITY);
-        if h > *slot {
-            *slot = h;
-        }
-    }
-}
-
-/// The g-values of every settled vertex of one search, in settle order —
-/// what [`crate::adaptive::AdaptiveSearcher`] folds into its memo.
-pub type ExploredStates = Vec<(StateKey, f64)>;
-
-/// Dense state-id interner: each distinct [`StateKey`] gets a `u32` on
-/// first sight. Keys are Arc-backed, so storing them twice (map + by-id
-/// vector) costs reference bumps, not vector copies.
-#[derive(Default)]
-struct Interner {
-    ids: HashMap<StateKey, u32>,
-    keys: Vec<StateKey>,
-}
-
-impl Interner {
-    /// Returns the id for `key`, allocating one if unseen.
-    fn intern(&mut self, key: StateKey) -> u32 {
-        let Interner { ids, keys } = self;
-        match ids.entry(key) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let id = keys.len() as u32;
-                keys.push(e.key().clone());
-                e.insert(id);
-                id
-            }
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.keys.len()
-    }
-}
-
-/// Grows `table` with `fill` so that `id` is addressable.
-fn ensure_slot(table: &mut Vec<f64>, id: u32, fill: f64) -> &mut f64 {
-    let idx = id as usize;
-    if table.len() <= idx {
-        table.resize(idx + 1, fill);
-    }
-    &mut table[idx]
-}
-
-struct Node {
-    state: SearchState,
-    parent: Option<usize>,
-    decision: Option<Decision>,
-    /// Interned id of `state`'s key.
-    sid: u32,
-}
-
-struct HeapEntry {
-    f: f64,
-    g: f64,
-    idx: usize,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.f == other.f && self.g == other.g && self.idx == other.idx
-    }
-}
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert f (smallest first); on ties,
-        // prefer the deeper node (largest g), then the most recently
-        // generated node (LIFO) — together these make exploration of an
-        // f-plateau depth-first, reaching goal vertices quickly.
-        other
-            .f
-            .total_cmp(&self.f)
-            .then_with(|| self.g.total_cmp(&other.g))
-            .then_with(|| self.idx.cmp(&other.idx))
-    }
-}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A* searcher over the reduced scheduling graph.
-pub struct AStarSearcher<'a> {
-    spec: &'a WorkloadSpec,
-    goal: &'a PerformanceGoal,
-    config: SearchConfig,
-    table: HeuristicTable,
-    memo: Option<&'a HeuristicMemo>,
-    canonical: Option<CanonicalOrder>,
-}
-
-impl<'a> AStarSearcher<'a> {
-    /// Creates a searcher with the default configuration. When the goal
-    /// admits it, the optimality-preserving canonical-SPT reduction (see
-    /// [`crate::canonical`]) is enabled automatically.
-    pub fn new(spec: &'a WorkloadSpec, goal: &'a PerformanceGoal) -> Self {
-        AStarSearcher {
-            spec,
-            goal,
-            config: SearchConfig::default(),
-            table: HeuristicTable::new(spec),
-            memo: None,
-            canonical: CanonicalOrder::for_goal(spec, goal),
-        }
-    }
-
-    /// Overrides the search configuration.
-    pub fn with_config(mut self, config: SearchConfig) -> Self {
-        self.config = config;
-        self
-    }
-
-    /// Layers an adaptive-A* heuristic memo over the base heuristic:
-    /// `h'(v) = max(h(v), memo[v])` (§5).
-    pub fn with_memo(mut self, memo: &'a HeuristicMemo) -> Self {
-        self.memo = Some(memo);
-        self
-    }
-
-    fn h(&self, state: &SearchState, key: &StateKey) -> f64 {
-        // At goal vertices the remaining cost is exactly zero; returning
-        // anything below that would let a costly goal pop before cheaper
-        // open paths (the optimality argument needs f(goal) = g(goal)).
-        if state.is_goal() {
-            return 0.0;
-        }
-        let base = self.table.estimate(self.goal, state).as_dollars();
-        match self.memo.and_then(|m| m.get(key)) {
-            Some(extra) => base.max(extra),
-            None => base,
-        }
-    }
-
-    /// Finds a minimum-cost complete schedule for `workload`.
-    pub fn solve(&self, workload: &Workload) -> CoreResult<OptimalSchedule> {
-        workload.validate_against(self.spec)?;
-        let counts: Vec<u16> = workload
-            .template_counts(self.spec.num_templates())
-            .into_iter()
-            .map(|c| c as u16)
-            .collect();
-        let (result, _) = self.solve_counts_with_explored(&counts, false)?;
-        Ok(finish_schedule(result, workload, self.spec, self.goal))
-    }
-
-    /// Like [`solve`](Self::solve) but also returns the g-values of every
-    /// settled vertex, which [`crate::adaptive::AdaptiveSearcher`] turns
-    /// into the reuse heuristic.
-    pub fn solve_with_explored(
-        &self,
-        workload: &Workload,
-    ) -> CoreResult<(OptimalSchedule, ExploredStates)> {
-        workload.validate_against(self.spec)?;
-        let counts: Vec<u16> = workload
-            .template_counts(self.spec.num_templates())
-            .into_iter()
-            .map(|c| c as u16)
-            .collect();
-        let (result, explored) = self.solve_counts_with_explored(&counts, true)?;
-        Ok((
-            finish_schedule(result, workload, self.spec, self.goal),
-            explored,
-        ))
-    }
-
-    /// Plans from an arbitrary initial vertex — the online scheduler's
-    /// entry point (§6.3), where the initial state carries the currently
-    /// open VM. Returns the decision sequence (no query-id replay).
-    pub fn plan_from(&self, initial: SearchState) -> CoreResult<Plan> {
-        let (raw, _) = self.solve_state_with_explored(initial, false)?;
-        Ok(Plan {
-            decisions: raw.steps.iter().map(|s| s.decision).collect(),
-            steps: raw.steps,
-            cost: raw.cost,
-            stats: raw.stats,
-        })
-    }
-
-    fn solve_counts_with_explored(
-        &self,
-        counts: &[u16],
-        keep_explored: bool,
-    ) -> CoreResult<(RawResult, ExploredStates)> {
-        let initial = SearchState::initial(counts.to_vec(), self.goal);
-        self.solve_state_with_explored(initial, keep_explored)
-    }
-
-    fn solve_state_with_explored(
-        &self,
-        initial: SearchState,
-        keep_explored: bool,
-    ) -> CoreResult<(RawResult, ExploredStates)> {
-        let nt = self.spec.num_templates();
-        let mut stats = SearchStats {
-            optimal: true,
-            ..SearchStats::default()
-        };
-
-        if initial.is_goal() {
-            return Ok((
-                RawResult {
-                    steps: Vec::new(),
-                    cost: Money::ZERO,
-                    stats,
-                },
-                Vec::new(),
-            ));
-        }
-
-        let mut arena: Vec<Node> = Vec::with_capacity(1024);
-        let mut interner = Interner::default();
-        // All three per-vertex tables are flat and id-indexed.
-        let mut best_g: Vec<f64> = Vec::with_capacity(1024);
-        let mut h_cache: Vec<f64> = Vec::with_capacity(1024);
-        // Settle-order g per id (last write wins on reopening); ids double
-        // as the index, so no hashing on the expansion path.
-        let mut explored_g: Vec<f64> = Vec::new();
-        let mut open = BinaryHeap::new();
-
-        let sid0 = interner.intern(initial.key(nt));
-        let h0 = self.h(&initial, &interner.keys[sid0 as usize]);
-        *ensure_slot(&mut best_g, sid0, f64::INFINITY) = 0.0;
-        *ensure_slot(&mut h_cache, sid0, f64::NAN) = h0;
-        arena.push(Node {
-            state: initial.clone(),
-            parent: None,
-            decision: None,
-            sid: sid0,
-        });
-        open.push(HeapEntry {
-            f: h0,
-            g: 0.0,
-            idx: 0,
-        });
-
-        // A quick greedy completion bounds the optimum from above: any
-        // vertex whose f exceeds it can never be on an optimal path.
-        let upper_bound = self.greedy_completion(&initial, stats).cost.as_dollars() + G_EPS;
-
-        // Incumbent: best goal vertex generated so far, as a fallback when
-        // the node limit is hit.
-        let mut incumbent: Option<(usize, f64)> = None;
-
-        while let Some(entry) = open.pop() {
-            // Cheap clone (reference bumps): lets the arena grow while the
-            // popped state's successors are generated.
-            let node_state = arena[entry.idx].state.clone();
-            let sid = arena[entry.idx].sid;
-            if entry.g > best_g[sid as usize] + G_EPS {
-                continue; // stale entry
-            }
-
-            if node_state.is_goal() {
-                let steps = reconstruct(&arena, entry.idx);
-                stats.expanded += 1;
-                stats.interned = interner.len() as u64;
-                return Ok((
-                    RawResult {
-                        steps,
-                        cost: Money::from_dollars(entry.g),
-                        stats,
-                    },
-                    finish_explored(interner, explored_g),
-                ));
-            }
-
-            stats.expanded += 1;
-            if keep_explored {
-                *ensure_slot(&mut explored_g, sid, f64::NAN) = entry.g;
-            }
-
-            if stats.expanded as usize >= self.config.node_limit {
-                stats.optimal = false;
-                stats.interned = interner.len() as u64;
-                return Ok((
-                    self.fallback_result(&arena, incumbent, &initial, stats),
-                    finish_explored(interner, explored_g),
-                ));
-            }
-
-            for decision in node_state.successors(self.spec) {
-                if let (Decision::Place(t), Some(canonical)) = (decision, &self.canonical) {
-                    if !canonical.allows(&node_state, t) {
-                        continue;
-                    }
-                }
-                let Some((next, weight)) = node_state.apply(self.spec, self.goal, decision) else {
-                    continue;
-                };
-                stats.generated += 1;
-                let g2 = entry.g + weight.as_dollars();
-                let sid2 = interner.intern(next.key(nt));
-                let known_g = ensure_slot(&mut best_g, sid2, f64::INFINITY);
-                if known_g.is_finite() {
-                    if g2 >= *known_g - G_EPS {
-                        continue;
-                    }
-                    stats.reopened += 1;
-                }
-                *known_g = g2;
-                let h_slot = ensure_slot(&mut h_cache, sid2, f64::NAN);
-                let h2 = if h_slot.is_nan() {
-                    let h = self.h(&next, &interner.keys[sid2 as usize]);
-                    *h_slot = h;
-                    h
-                } else {
-                    *h_slot
-                };
-                if g2 + h2 > upper_bound {
-                    continue;
-                }
-                let is_goal = next.is_goal();
-                arena.push(Node {
-                    state: next,
-                    parent: Some(entry.idx),
-                    decision: Some(decision),
-                    sid: sid2,
-                });
-                let idx = arena.len() - 1;
-                if is_goal {
-                    match incumbent {
-                        Some((_, best)) if best <= g2 => {}
-                        _ => incumbent = Some((idx, g2)),
-                    }
-                }
-                open.push(HeapEntry {
-                    f: g2 + h2,
-                    g: g2,
-                    idx,
-                });
-            }
-        }
-
-        // Open list exhausted without popping a goal: only possible if no
-        // complete schedule exists, which spec validation rules out — but
-        // return the incumbent defensively.
-        stats.optimal = false;
-        stats.interned = interner.len() as u64;
-        Ok((
-            self.fallback_result(&arena, incumbent, &initial, stats),
-            finish_explored(interner, explored_g),
-        ))
-    }
-
-    fn fallback_result(
-        &self,
-        arena: &[Node],
-        incumbent: Option<(usize, f64)>,
-        initial: &SearchState,
-        stats: SearchStats,
-    ) -> RawResult {
-        // Greedy completion from the start; an incumbent goal generated
-        // early in a limited search can be dreadful, so take the cheaper.
-        let greedy = self.greedy_completion(initial, stats);
-        if let Some((idx, g)) = incumbent {
-            if g <= greedy.cost.as_dollars() {
-                return RawResult {
-                    steps: reconstruct(arena, idx),
-                    cost: Money::from_dollars(g),
-                    stats,
-                };
-            }
-        }
-        greedy
-    }
-
-    /// One-step-greedy completion: the cheapest out-edge at every vertex,
-    /// comparing placements (Eq. 2) against renting plus the fresh VM's
-    /// cheapest first placement.
-    fn greedy_completion(&self, initial: &SearchState, stats: SearchStats) -> RawResult {
-        let mut state = initial.clone();
-        let mut steps = Vec::new();
-        let mut cost = Money::ZERO;
-        while !state.is_goal() {
-            let mut best: Option<(Decision, Money)> = None;
-            let consider = |d: Decision, w: Money, best: &mut Option<(Decision, Money)>| {
-                if best
-                    .as_ref()
-                    .map(|&(_, bw)| w.total_cmp(&bw).is_lt())
-                    .unwrap_or(true)
-                {
-                    *best = Some((d, w));
-                }
-            };
-            for d in state.successors(self.spec) {
-                match d {
-                    Decision::Place(_) => {
-                        if let Some(w) = state.edge_weight(self.spec, self.goal, d) {
-                            consider(d, w, &mut best);
-                        }
-                    }
-                    Decision::CreateVm(_) => {
-                        // Price renting by the fee plus the cheapest first
-                        // placement the fresh VM would then offer, so a
-                        // penalized stack loses to opening a new VM.
-                        let Some((fresh, startup)) = state.apply(self.spec, self.goal, d) else {
-                            continue;
-                        };
-                        let next_best = self
-                            .spec
-                            .template_ids()
-                            .filter_map(|t| {
-                                fresh.edge_weight(self.spec, self.goal, Decision::Place(t))
-                            })
-                            .min_by(Money::total_cmp)
-                            .unwrap_or(Money::ZERO);
-                        consider(d, startup + next_best, &mut best);
-                    }
-                }
-            }
-            let (decision, _) = best.expect("validated spec always offers a decision");
-            let (next, w) = state
-                .apply(self.spec, self.goal, decision)
-                .expect("successor decisions are applicable");
-            steps.push(DecisionStep {
-                state: state.clone(),
-                decision,
-            });
-            cost += w;
-            state = next;
-        }
-        RawResult { steps, cost, stats }
-    }
-}
-
-struct RawResult {
-    steps: Vec<DecisionStep>,
-    cost: Money,
-    stats: SearchStats,
-}
-
-/// Converts the id-indexed settle table back to keyed pairs, in id order.
-/// Keys come out of the interner by reference bump, not by copy.
-fn finish_explored(interner: Interner, explored_g: Vec<f64>) -> ExploredStates {
-    explored_g
-        .into_iter()
-        .enumerate()
-        .filter(|(_, g)| !g.is_nan())
-        .map(|(id, g)| (interner.keys[id].clone(), g))
-        .collect()
-}
-
-fn reconstruct(arena: &[Node], goal_idx: usize) -> Vec<DecisionStep> {
-    let mut steps = Vec::new();
-    let mut idx = goal_idx;
-    while let (Some(parent), Some(decision)) = (arena[idx].parent, arena[idx].decision) {
-        steps.push(DecisionStep {
-            state: arena[parent].state.clone(),
-            decision,
-        });
-        idx = parent;
-    }
-    steps.reverse();
-    steps
-}
-
-/// Replays the decision sequence against the concrete workload, assigning
-/// real query ids (instances of a template are interchangeable, so ids are
-/// handed out in workload order).
-fn finish_schedule(
-    raw: RawResult,
-    workload: &Workload,
-    _spec: &WorkloadSpec,
-    _goal: &PerformanceGoal,
-) -> OptimalSchedule {
-    let mut by_template: Vec<std::collections::VecDeque<wisedb_core::QueryId>> = Vec::new();
-    for q in workload.queries() {
-        let idx = q.template.index();
-        if by_template.len() <= idx {
-            by_template.resize_with(idx + 1, Default::default);
-        }
-        by_template[idx].push_back(q.id);
-    }
-    let mut schedule = Schedule::empty();
-    for step in &raw.steps {
-        match step.decision {
-            Decision::CreateVm(v) => schedule.vms.push(VmInstance::new(v)),
-            Decision::Place(t) => {
-                let id = by_template[t.index()]
-                    .pop_front()
-                    .expect("decision path places exactly the workload's queries");
-                schedule
-                    .vms
-                    .last_mut()
-                    .expect("placement always follows a start-up edge")
-                    .queue
-                    .push(wisedb_core::Placement {
-                        query: id,
-                        template: t,
-                    });
-            }
-        }
-    }
-    OptimalSchedule {
-        schedule,
-        cost: raw.cost,
-        steps: raw.steps,
-        stats: raw.stats,
-    }
-}
-
-/// Convenience: builds a template-id workload and solves it.
-pub fn solve_counts(
-    spec: &WorkloadSpec,
-    goal: &PerformanceGoal,
-    counts: &[u32],
-) -> CoreResult<OptimalSchedule> {
-    let workload = Workload::from_counts(counts);
-    AStarSearcher::new(spec, goal).solve(&workload)
-}
+/// The historical name of the solver. Defaults to exact A*; pass a
+/// [`SearchConfig`] with a different [`crate::strategy::SearchStrategy`]
+/// to run beam or anytime search through the same entry point.
+pub type AStarSearcher<'a> = Solver<'a>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wisedb_core::{total_cost, Millis, PenaltyRate, VmType};
+    use wisedb_core::{
+        total_cost, Millis, Money, PenaltyRate, PerformanceGoal, Schedule, VmInstance, VmType,
+        Workload, WorkloadSpec,
+    };
+
+    use crate::decision::Decision;
 
     fn fig3_spec() -> WorkloadSpec {
         WorkloadSpec::single_vm(
@@ -703,6 +64,7 @@ mod tests {
         let workload = Workload::from_counts(&[1, 3]);
         let result = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
         assert!(result.stats.optimal);
+        assert_eq!(result.stats.bound, 1.0);
         result.schedule.validate_complete(&workload).unwrap();
         assert_eq!(result.schedule.num_vms(), 3);
         // No penalties: cost = 3 startups + 5 query-minutes.
@@ -753,17 +115,11 @@ mod tests {
         let analytic = total_cost(&spec, &goal, &result.schedule).unwrap();
         assert!(result.cost.approx_eq(analytic, 1e-9));
 
-        // Exhaustive check on this small instance: enumerate a few obvious
-        // alternatives and confirm none beats A*.
-        for counts in [[2, 2]] {
-            let _ = counts;
-        }
         let ffd_like = {
             // All four queries on one VM.
             let mut s = Schedule::empty();
             s.vms.push(VmInstance::new(wisedb_core::VmTypeId(0)));
-            for (i, q) in workload.queries().iter().enumerate() {
-                let _ = i;
+            for q in workload.queries() {
                 s.vms[0].queue.push(wisedb_core::Placement {
                     query: q.id,
                     template: q.template,
@@ -818,10 +174,20 @@ mod tests {
         let goal = fig3_goal();
         let workload = Workload::from_counts(&[3, 3]);
         let result = AStarSearcher::new(&spec, &goal)
-            .with_config(SearchConfig { node_limit: 2 })
+            .with_config(SearchConfig {
+                node_limit: 2,
+                ..SearchConfig::default()
+            })
             .solve(&workload)
             .unwrap();
         assert!(!result.stats.optimal);
+        // The budget outcome is observable, not a silent fallback: the
+        // limit counts expansions (exactly `node_limit` of them), and the
+        // frontier still certifies a finite suboptimality bound.
+        assert!(result.stats.limit_hit);
+        assert_eq!(result.stats.expanded, 2);
+        assert!(result.stats.bound.is_finite());
+        assert!(result.stats.bound >= 1.0);
         result.schedule.validate_complete(&workload).unwrap();
     }
 

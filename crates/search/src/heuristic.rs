@@ -18,6 +18,10 @@ use crate::state::SearchState;
 pub struct HeuristicTable {
     cheapest: Vec<Money>,
     min_exec: Vec<Millis>,
+    /// Template indices sorted ascending by `min_exec` (ties by index) —
+    /// lets per-state bounds build sorted remaining-execution multisets
+    /// without sorting anything at search time.
+    exec_order: Vec<(u64, usize)>,
     min_startup: Money,
 }
 
@@ -28,11 +32,17 @@ impl HeuristicTable {
             .template_ids()
             .map(|t| spec.cheapest_runtime_cost(t).unwrap_or(Money::ZERO))
             .collect();
-        let min_exec = spec
+        let min_exec: Vec<Millis> = spec
             .templates()
             .iter()
             .map(|t| t.min_latency().unwrap_or(Millis::ZERO))
             .collect();
+        let mut exec_order: Vec<(u64, usize)> = min_exec
+            .iter()
+            .enumerate()
+            .map(|(t, &e)| (e.as_millis(), t))
+            .collect();
+        exec_order.sort_unstable();
         let min_startup = spec
             .vm_types()
             .iter()
@@ -42,8 +52,27 @@ impl HeuristicTable {
         HeuristicTable {
             cheapest,
             min_exec,
+            exec_order,
             min_startup,
         }
+    }
+
+    /// The fastest possible executions of the still-unassigned queries as
+    /// ascending `(latency_ms, count)` buckets — `O(num_templates)` thanks
+    /// to the precomputed [`exec_order`](Self::exec_order).
+    fn remaining_exec_buckets(&self, state: &SearchState) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = Vec::with_capacity(self.exec_order.len());
+        for &(ms, t) in &self.exec_order {
+            let count = state.unassigned.get(t).copied().unwrap_or(0) as u32;
+            if count == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some((v, n)) if *v == ms => *n += count,
+                _ => out.push((ms, count)),
+            }
+        }
+        out
     }
 
     /// Cheapest processing cost of one instance of `t`.
@@ -116,17 +145,18 @@ impl HeuristicTable {
         let PenaltyTracker::Average { sum_ms, count } = &state.tracker else {
             return Money::ZERO;
         };
-        // Remaining execution times, longest first.
+        // Remaining execution times, longest first (no sort: walk the
+        // precomputed ascending exec order backwards).
         let mut execs: Vec<u64> = Vec::new();
-        for (t, &c) in state.unassigned.iter().enumerate() {
-            for _ in 0..c {
-                execs.push(self.min_exec[t].as_millis());
+        for &(ms, t) in self.exec_order.iter().rev() {
+            let count = state.unassigned.get(t).copied().unwrap_or(0);
+            for _ in 0..count {
+                execs.push(ms);
             }
         }
         if execs.is_empty() {
             return Money::ZERO;
         }
-        execs.sort_unstable_by(|a, b| b.cmp(a));
         let m = execs.len();
         let n_final = *count + m as u64;
         let open = usize::from(state.last_vm.is_some());
@@ -294,21 +324,22 @@ impl HeuristicTable {
                     deadline,
                     rate,
                 },
-                PenaltyTracker::Percentile { sorted_ms },
+                PenaltyTracker::Percentile { dist },
             ) => {
-                let mut merged: Vec<u64> = sorted_ms.as_slice().to_vec();
-                for (t, &remaining) in state.unassigned.iter().enumerate() {
-                    for _ in 0..remaining {
-                        merged.push(self.min_exec[t].as_millis());
-                    }
-                }
-                if merged.is_empty() {
+                // The k-th order statistic of (completed ∪ fastest-possible
+                // remaining) latencies, via a bucket merge of the quantized
+                // digest with the precomputed remaining-exec buckets —
+                // O(buckets + templates) per state, no sort, no
+                // materialized multiset. Values are identical to sorting
+                // the merged multiset, so exact-search behaviour (and every
+                // expansion counter) is unchanged.
+                let extra = self.remaining_exec_buckets(state);
+                let n = dist.len() + extra.iter().map(|&(_, c)| c as u64).sum::<u64>();
+                if n == 0 {
                     return Money::ZERO;
                 }
-                merged.sort_unstable();
-                let n = merged.len();
-                let k = (((percent / 100.0) * n as f64).ceil() as usize).clamp(1, n);
-                let at = Millis::from_millis(merged[k - 1]);
+                let k = (((percent / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+                let at = Millis::from_millis(dist.value_at_rank_merged(k, &extra));
                 rate.for_violation(at.saturating_sub(*deadline))
             }
             // Monotone goals never reach here; mismatched trackers cannot
@@ -415,6 +446,66 @@ mod tests {
         // Goal vertex: nothing remains, so the true remaining cost is 0 and
         // the heuristic must say exactly that.
         assert_eq!(table.estimate(&goal, &state), Money::ZERO);
+    }
+
+    /// The bucket-merge percentile bound equals the historical
+    /// sort-the-materialized-multiset reference on states reached by real
+    /// decision sequences — the bit-identity contract of the digest
+    /// refactor.
+    #[test]
+    fn percentile_estimate_matches_sorted_reference() {
+        let spec = spec();
+        let goal = wisedb_core::PerformanceGoal::Percentile {
+            percent: 75.0,
+            deadline: Millis::from_secs(100),
+            rate: PenaltyRate::CENT_PER_SECOND,
+        };
+        let table = HeuristicTable::new(&spec);
+        // Walk a few placement sequences, checking the estimate at every
+        // intermediate state.
+        for placements in [vec![0usize, 1, 1], vec![1, 1, 0, 0], vec![0, 0, 1], vec![1]] {
+            let mut state = SearchState::initial(vec![3, 4], &goal);
+            let (s, _) = state
+                .apply(&spec, &goal, Decision::CreateVm(VmTypeId(0)))
+                .unwrap();
+            state = s;
+            for &t in &placements {
+                let (s, _) = state
+                    .apply(&spec, &goal, Decision::Place(TemplateId(t as u32)))
+                    .unwrap();
+                state = s;
+
+                // Reference: materialize completed ∪ fastest-remaining,
+                // sort, take the nearest-rank percentile.
+                let wisedb_core::PenaltyTracker::Percentile { dist } = &state.tracker else {
+                    unreachable!()
+                };
+                let mut merged: Vec<u64> = dist
+                    .buckets()
+                    .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize))
+                    .collect();
+                for (t, &remaining) in state.unassigned.iter().enumerate() {
+                    for _ in 0..remaining {
+                        merged.push(spec.templates()[t].min_latency().unwrap().as_millis());
+                    }
+                }
+                merged.sort_unstable();
+                let n = merged.len();
+                let k = (((75.0 / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+                let at = Millis::from_millis(merged[k - 1]);
+                let reference_final = PenaltyRate::CENT_PER_SECOND
+                    .for_violation(at.saturating_sub(Millis::from_secs(100)));
+
+                let runtime = table.remaining_runtime_lower_bound(&state);
+                let current = state.tracker.penalty(&goal);
+                let expected = runtime + reference_final - current;
+                let estimate = table.estimate(&goal, &state);
+                assert!(
+                    estimate.approx_eq(expected, 1e-12),
+                    "after {placements:?}: estimate {estimate} vs reference {expected}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! a query on the most recently rented VM (*placement edges*, weight
 //! `l(q,i)·f_r + Δpenalty`, Eq. 2). A minimum-cost path from "everything
 //! unassigned" to "nothing unassigned" is a minimum-cost schedule under
-//! Eq. 1 — found here with A* ([`astar::AStarSearcher`]) and, for families
-//! of tightening goals, adaptive A* ([`adaptive::AdaptiveSearcher`]).
+//! Eq. 1 — found here by the pluggable solver layer ([`strategy`]): exact
+//! A* ([`strategy::ExactAStar`], the default), beam search
+//! ([`strategy::BeamSearch`]), anytime weighted A*
+//! ([`strategy::AnytimeWeightedAStar`]), and, for families of tightening
+//! goals, adaptive A* ([`adaptive::AdaptiveSearcher`]).
 //!
 //! The searcher also reports the *decision path* (which edge was taken at
 //! which vertex), which is exactly the training signal the learning crate
@@ -24,13 +27,16 @@ pub mod canonical;
 pub mod decision;
 pub mod heuristic;
 pub mod state;
+pub mod strategy;
 
 pub use adaptive::AdaptiveSearcher;
-pub use astar::{
-    solve_counts, AStarSearcher, DecisionStep, HeuristicMemo, OptimalSchedule, Plan, SearchConfig,
-    SearchStats,
-};
+pub use astar::AStarSearcher;
 pub use canonical::CanonicalOrder;
 pub use decision::Decision;
 pub use heuristic::HeuristicTable;
 pub use state::{LastVm, SearchState, StateKey};
+pub use strategy::{
+    solve_counts, AnytimeWeightedAStar, BeamSearch, DecisionStep, ExactAStar, HeuristicMemo,
+    OptimalSchedule, Plan, SearchConfig, SearchOutcome, SearchStats, SearchStrategy, Solver,
+    Strategy,
+};

@@ -132,5 +132,6 @@ pub mod prelude {
         WorkloadService,
     };
     pub use wisedb_search::astar::{AStarSearcher, OptimalSchedule};
+    pub use wisedb_search::strategy::{SearchConfig, SearchStrategy, Solver};
     pub use wisedb_sim::{LiveCluster, LiveOptions};
 }

@@ -49,6 +49,49 @@ fn scrub_wall_clock(mut snapshot: MetricsSnapshot) -> MetricsSnapshot {
     snapshot
 }
 
+/// The search-strategy choice threads through the runtime config
+/// (`OnlineConfig::with_strategy` reaches training and per-arrival oracle
+/// replans): a service trained with an inexact solver still completes
+/// every arrival, deterministically, and an explicit exact strategy is
+/// bit-identical to the default.
+#[test]
+fn runtime_honors_search_strategy_choice() {
+    use wisedb::search::SearchStrategy;
+    let spec = wisedb::sim::catalog::tpch_like(4);
+    let goal = PerformanceGoal::paper_default(GoalKind::Percentile, &spec).unwrap();
+    let run = |strategy: Option<SearchStrategy>| {
+        let mut online = OnlineConfig {
+            training: tiny_training(),
+            ..OnlineConfig::default()
+        };
+        if let Some(strategy) = strategy {
+            online = online.with_strategy(strategy);
+        }
+        let config = RuntimeConfig {
+            online,
+            ..RuntimeConfig::default()
+        };
+        let mut svc = WorkloadService::train(spec.clone(), goal.clone(), config).unwrap();
+        let mut process = PoissonProcess::per_second(0.02, TemplateMix::uniform(4));
+        svc.run_process(&mut process, 30).unwrap()
+    };
+    let default_run = run(None);
+    let exact = run(Some(SearchStrategy::Exact));
+    assert_eq!(
+        default_run.completions, exact.completions,
+        "explicit exact == default"
+    );
+    for strategy in [SearchStrategy::beam(), SearchStrategy::anytime()] {
+        let inexact_a = run(Some(strategy));
+        let inexact_b = run(Some(strategy));
+        assert_eq!(inexact_a.completions.len(), 30, "{strategy:?} completes");
+        assert_eq!(
+            inexact_a.completions, inexact_b.completions,
+            "{strategy:?} deterministic"
+        );
+    }
+}
+
 #[test]
 fn fixed_seed_reproduces_trace_and_metrics() {
     let run = || {
