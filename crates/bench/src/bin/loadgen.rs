@@ -1,0 +1,105 @@
+//! Wire-protocol load generator: replay an arrival trace against a
+//! loopback `wisedb-serve` server and gate decision latency on the SLO.
+//!
+//! ```text
+//! WISEDB_SCALE=quick cargo run --release -p wisedb-bench --bin loadgen
+//! ```
+//!
+//! Replays the seeded hot trace of [`wisedb_bench::serve_load`] over one
+//! connection, prints the admit/shed counters and round-trip percentiles,
+//! and exits non-zero if the serve SLO is violated:
+//!
+//! > **p95 < 1 ms, p99 < 10 ms** (loopback, quick-scale load).
+//!
+//! Environment:
+//! * `WISEDB_SCALE` — `quick` / `std` (default) / `paper`.
+//! * `WISEDB_SLO_P95_US` / `WISEDB_SLO_P99_US` — override the SLO bounds
+//!   (microseconds), e.g. for saturated CI runners.
+//! * `WISEDB_SKIP_SLO=1` — report only, never fail (the regress harness
+//!   gates times separately).
+
+use wisedb_bench::{serve_load, Scale, Table};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "loadgen: training the serve scenario service ({} requests)...",
+        serve_load::requests(scale)
+    );
+    let service = serve_load::build_service(scale);
+    eprintln!("loadgen: replaying the trace over loopback TCP...");
+    let report = serve_load::run(service, scale);
+
+    let mut table = Table::new(
+        "serve decision latency over loopback TCP",
+        &[
+            "requests",
+            "admitted",
+            "shed",
+            "shed_rate",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
+    );
+    table.row(&[
+        report.n.to_string(),
+        report.admitted.to_string(),
+        report.shed.to_string(),
+        format!("{:.3}", report.shed_rate()),
+        format!("{:.0}", report.p50_us),
+        format!("{:.0}", report.p95_us),
+        format!("{:.0}", report.p99_us),
+    ]);
+    table.print();
+    println!(
+        "server snapshot: {} admitted, {} rejected, {} completed",
+        report.snapshot.admitted, report.snapshot.rejected, report.snapshot.completed
+    );
+
+    // The wire and the in-process loop must agree on every verdict.
+    assert_eq!(
+        report.snapshot.admitted, report.admitted,
+        "server-side admit count must match the client's"
+    );
+    assert_eq!(
+        report.snapshot.rejected, report.shed,
+        "server-side shed count must match the client's"
+    );
+
+    if std::env::var("WISEDB_SKIP_SLO").as_deref() == Ok("1") {
+        eprintln!("loadgen: SLO gate skipped (WISEDB_SKIP_SLO=1)");
+        return;
+    }
+    let p95_bound = env_f64("WISEDB_SLO_P95_US", 1_000.0);
+    let p99_bound = env_f64("WISEDB_SLO_P99_US", 10_000.0);
+    let mut violated = false;
+    if report.p95_us >= p95_bound {
+        eprintln!(
+            "loadgen: SLO VIOLATION: p95 {:.0}us >= {:.0}us",
+            report.p95_us, p95_bound
+        );
+        violated = true;
+    }
+    if report.p99_us >= p99_bound {
+        eprintln!(
+            "loadgen: SLO VIOLATION: p99 {:.0}us >= {:.0}us",
+            report.p99_us, p99_bound
+        );
+        violated = true;
+    }
+    if violated {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "loadgen: SLO met (p95 {:.0}us < {:.0}us, p99 {:.0}us < {:.0}us)",
+        report.p95_us, p95_bound, report.p99_us, p99_bound
+    );
+}

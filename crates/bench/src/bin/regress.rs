@@ -1,10 +1,12 @@
 //! Hot-path regression harness.
 //!
-//! Runs the five hot-path benches — the A* kernel (one optimal solve per
+//! Runs the six hot-path benches — the A* kernel (one optimal solve per
 //! goal kind), the percentile-pathology strategy guard (beam + anytime
 //! under a tight budget, certified-bound counters compared exactly), batch
-//! scheduling throughput, the streaming event loop, and the multi-tenant
-//! consolidation loop (3 SLA classes, shared vs isolated fleets) — writes
+//! scheduling throughput, the streaming event loop, the multi-tenant
+//! consolidation loop (3 SLA classes, shared vs isolated fleets), and the
+//! serve layer's wire loop (loopback TCP, exact admit/shed counters plus
+//! round-trip percentiles) — writes
 //! `BENCH_current.json`, and diffs it against the committed
 //! `crates/bench/BENCH_baseline.json` (see [`wisedb_bench::regress`] for
 //! the comparison semantics: counters exact, times informational unless
@@ -304,6 +306,38 @@ fn multitenant_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+/// The serve layer over loopback: a seeded hot trace replayed through one
+/// wire connection (see [`wisedb_bench::serve_load`]). The sequential
+/// replay keeps admission deterministic, so `admitted`/`shed`/`shed_rate`
+/// are exact counters; the round-trip percentiles are times, gated
+/// against the serve SLO by `--bin loadgen` and compared here only under
+/// `WISEDB_REGRESS_TIME_TOL`.
+fn serve_loop(scale: Scale, out: &mut Vec<Measurement>) {
+    let n = wisedb_bench::serve_load::requests(scale);
+    let bench = format!("serve/{n}");
+    let service = wisedb_bench::serve_load::build_service(scale);
+    let report = wisedb_bench::serve_load::run(service, scale);
+    for (metric, value, kind) in [
+        ("p50_us", report.p50_us, MetricKind::Time),
+        ("p95_us", report.p95_us, MetricKind::Time),
+        ("p99_us", report.p99_us, MetricKind::Time),
+        ("admitted", report.admitted as f64, MetricKind::Counter),
+        ("shed", report.shed as f64, MetricKind::Counter),
+        ("shed_rate", report.shed_rate(), MetricKind::Counter),
+        (
+            "completed",
+            report.snapshot.completed as f64,
+            MetricKind::Counter,
+        ),
+    ] {
+        out.push(Measurement::new(&bench, metric, value, kind));
+    }
+    eprintln!(
+        "  {bench}: p95 {:.0}us / p99 {:.0}us ({} admitted, {} shed)",
+        report.p95_us, report.p99_us, report.admitted, report.shed
+    );
+}
+
 fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
 }
@@ -339,6 +373,7 @@ fn main() {
     batch_throughput(scale, &mut measurements);
     streaming_loop(scale, &mut measurements);
     multitenant_loop(scale, &mut measurements);
+    serve_loop(scale, &mut measurements);
     let current = BenchReport {
         scale: scale_name.to_string(),
         measurements,

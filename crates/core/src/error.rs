@@ -109,6 +109,14 @@ pub enum CoreError {
         /// What disagreed.
         detail: String,
     },
+    /// A scheduling plan could not be applied to the live cluster: a step
+    /// was malformed (e.g. an assignment with no VM to target) or stale
+    /// with respect to the cluster's state. The request that carried the
+    /// plan fails; the service itself stays up.
+    InconsistentPlan {
+        /// What the plan asked for that the cluster could not honor.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -172,6 +180,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ModelMismatch { detail } => {
                 write!(f, "swapped model does not match the service: {detail}")
+            }
+            CoreError::InconsistentPlan { detail } => {
+                write!(f, "plan is inconsistent with the live cluster: {detail}")
             }
         }
     }

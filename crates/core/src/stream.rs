@@ -61,15 +61,37 @@ pub struct OpenVmView {
     pub backlog: Millis,
 }
 
-/// Nearest-rank percentile of a set of durations. `p` is in (0, 100];
-/// an empty slice yields zero. `sorted` must be ascending.
+/// The 1-based nearest rank of percentile `p` in a population of `count`
+/// observations (`count > 0`), applying the documented clamping contract:
+/// `p` is interpreted in `(0, 100]`; `p ≤ 0` clamps to rank 1 (the
+/// minimum), `p > 100` clamps to rank `count` (the maximum), and a NaN
+/// `p` — which would otherwise flow through the index arithmetic and
+/// silently select the minimum — is answered conservatively with the
+/// maximum.
+fn percentile_rank(p: f64, count: u64) -> u64 {
+    if p.is_nan() || p > 100.0 {
+        return count;
+    }
+    // `p ≤ 0` makes k ≤ 0; the saturating float→int cast plus the clamp
+    // pins it to rank 1.
+    let k = ((p / 100.0) * count as f64).ceil() as u64;
+    k.clamp(1, count)
+}
+
+/// Nearest-rank percentile of a set of durations. An empty slice yields
+/// zero; `sorted` must be ascending.
+///
+/// **Contract:** `p` is a percentile in `(0, 100]`. Out-of-domain values
+/// are clamped, never trusted as index arithmetic: `p ≤ 0` yields the
+/// minimum, `p > 100` yields the maximum, and `NaN` is treated as the
+/// 100th percentile (the conservative answer for a latency population).
+/// In-domain callers are unaffected by the validation (bit-identical
+/// results).
 pub fn percentile_sorted(sorted: &[Millis], p: f64) -> Millis {
     if sorted.is_empty() {
         return Millis::ZERO;
     }
-    let n = sorted.len();
-    let k = ((p / 100.0) * n as f64).ceil() as usize;
-    sorted[k.clamp(1, n) - 1]
+    sorted[percentile_rank(p, sorted.len() as u64) as usize - 1]
 }
 
 /// Order statistics of a latency population.
@@ -175,14 +197,16 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Nearest-rank percentile (`p` in (0, 100]; empty yields zero) —
-    /// identical to [`percentile_sorted`] over the full population.
+    /// Nearest-rank percentile — identical to [`percentile_sorted`] over
+    /// the full population, including its clamping contract: `p` is
+    /// interpreted in `(0, 100]`; `p ≤ 0` yields the minimum, `p > 100`
+    /// yields the maximum, NaN yields the maximum, and an empty histogram
+    /// yields zero.
     pub fn percentile(&self, p: f64) -> Millis {
         if self.count == 0 {
             return Millis::ZERO;
         }
-        let k = ((p / 100.0) * self.count as f64).ceil() as u64;
-        let k = k.clamp(1, self.count);
+        let k = percentile_rank(p, self.count);
         let mut seen = 0u64;
         for (&value, &n) in &self.counts {
             seen += n;
@@ -334,6 +358,40 @@ mod tests {
             percentile_sorted(&[Millis::from_secs(7)], 1.0),
             Millis::from_secs(7)
         );
+    }
+
+    #[test]
+    fn percentile_out_of_domain_values_are_clamped() {
+        let xs: Vec<Millis> = (1..=100).map(Millis::from_secs).collect();
+        let mut hist = LatencyHistogram::new();
+        for &x in &xs {
+            hist.push(x);
+        }
+        // NaN: conservative maximum, never a miscomputed index.
+        assert_eq!(percentile_sorted(&xs, f64::NAN), Millis::from_secs(100));
+        assert_eq!(hist.percentile(f64::NAN), Millis::from_secs(100));
+        // p ≤ 0: clamped to rank 1 (the minimum).
+        for p in [0.0, -4.2, f64::NEG_INFINITY] {
+            assert_eq!(percentile_sorted(&xs, p), Millis::from_secs(1), "p={p}");
+            assert_eq!(hist.percentile(p), Millis::from_secs(1), "p={p}");
+        }
+        // p > 100 (including 100 + ε and infinity): the maximum.
+        for p in [100.0 + f64::EPSILON * 200.0, 1e300, f64::INFINITY] {
+            assert_eq!(percentile_sorted(&xs, p), Millis::from_secs(100), "p={p}");
+            assert_eq!(hist.percentile(p), Millis::from_secs(100), "p={p}");
+        }
+        // A single-sample population answers every (even out-of-domain)
+        // percentile with its one value.
+        let one = [Millis::from_secs(7)];
+        let mut one_hist = LatencyHistogram::new();
+        one_hist.push(Millis::from_secs(7));
+        for p in [f64::NAN, -1.0, 0.0, 50.0, 100.0, 101.0] {
+            assert_eq!(percentile_sorted(&one, p), Millis::from_secs(7), "p={p}");
+            assert_eq!(one_hist.percentile(p), Millis::from_secs(7), "p={p}");
+        }
+        // The empty population still yields zero whatever p is.
+        assert_eq!(percentile_sorted(&[], f64::NAN), Millis::ZERO);
+        assert_eq!(LatencyHistogram::new().percentile(f64::NAN), Millis::ZERO);
     }
 
     #[test]

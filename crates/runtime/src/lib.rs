@@ -74,7 +74,7 @@ pub use arrivals::{
     DriftProcess, OnOffProcess, PoissonProcess, TemplateMix,
 };
 pub use metrics::MetricsCollector;
-pub use service::{RuntimeConfig, StreamReport, WorkloadService};
+pub use service::{OfferOutcome, RuntimeConfig, StreamReport, WorkloadService};
 
 /// One-stop imports for driving the streaming runtime.
 pub mod prelude {
@@ -84,6 +84,6 @@ pub mod prelude {
         DriftProcess, OnOffProcess, PoissonProcess, TemplateMix,
     };
     pub use crate::metrics::MetricsCollector;
-    pub use crate::service::{RuntimeConfig, StreamReport, WorkloadService};
+    pub use crate::service::{OfferOutcome, RuntimeConfig, StreamReport, WorkloadService};
     pub use wisedb_core::{ClassMetrics, LatencySummary, MetricsSnapshot, SlaClass, TenantId};
 }

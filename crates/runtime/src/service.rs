@@ -34,14 +34,14 @@ use rand::SeedableRng;
 
 use wisedb_advisor::multi::MultiScheduler;
 use wisedb_advisor::online::{
-    ClusterView, OnlineConfig, OnlineScheduler, PendingArrival, PlannedStep,
+    ArrivalPlan, ClusterView, OnlineConfig, OnlineScheduler, PendingArrival, PlannedStep,
 };
 use wisedb_advisor::{DecisionModel, TrainingArtifacts};
 use wisedb_core::{
     ArrivingQuery, CoreError, CoreResult, GoalHandle, MetricsSnapshot, Millis, QueryId, SlaClass,
-    SpecHandle, TemplateId, TenantId, WorkloadSpec,
+    SpecHandle, TemplateId, TenantId, VmTypeId, WorkloadSpec,
 };
-use wisedb_sim::{Completion, LiveCluster, LiveOptions};
+use wisedb_sim::{Completion, LiveCluster, LiveOptions, RecalledQuery};
 
 use crate::admission::{AdmissionPolicy, LoadStatus};
 use crate::arrivals::ArrivalProcess;
@@ -75,6 +75,15 @@ impl Default for RuntimeConfig {
             snapshot_every: 0,
         }
     }
+}
+
+/// What became of one offered arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Admitted and planned onto the fleet.
+    Admitted,
+    /// Dropped by admission control (graceful degradation, not an error).
+    Shed,
 }
 
 /// What a finished stream run reports.
@@ -175,6 +184,11 @@ impl WorkloadService {
         self.cluster.now()
     }
 
+    /// The configuration the service was opened with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
     /// The live cluster session (fleet state, running bill).
     pub fn cluster(&self) -> &LiveCluster {
         &self.cluster
@@ -213,39 +227,86 @@ impl WorkloadService {
         class: TenantId,
         at: Millis,
     ) -> CoreResult<bool> {
+        let outcomes = self.offer_batch_as(class, &[(template, at)])?;
+        Ok(outcomes[0] == OfferOutcome::Admitted)
+    }
+
+    /// Offers a burst of same-class arrivals (`(template, at)` pairs in
+    /// non-decreasing `at` order), coalescing every admitted newcomer into
+    /// **one** `plan_arrivals` call instead of one per arrival — the
+    /// request-batching path a network server takes when load outruns the
+    /// scheduler thread (drain the queue, plan once).
+    ///
+    /// Each arrival still advances the clock and passes through admission
+    /// individually (earlier newcomers of the same burst count toward the
+    /// later ones' queue-depth signals), so a one-element burst is
+    /// **bit-identical** to [`offer_as`](WorkloadService::offer_as) —
+    /// asserted by tests. Admitted arrivals are then planned together with
+    /// the class's recalled pending work at the last admitted instant.
+    ///
+    /// On error the planning rollback restores recalled queries and drops
+    /// the whole burst's newcomers; arrivals shed before the error keep
+    /// their rejection counts.
+    pub fn offer_batch_as(
+        &mut self,
+        class: TenantId,
+        arrivals: &[(TemplateId, Millis)],
+    ) -> CoreResult<Vec<OfferOutcome>> {
+        if arrivals.is_empty() {
+            return Ok(Vec::new());
+        }
         let sla = self.scheduler.class(class)?;
-        if !sla.allows(template) {
-            return Err(CoreError::TemplateNotInClass { template, class });
+        for &(template, _) in arrivals {
+            if !sla.allows(template) {
+                return Err(CoreError::TemplateNotInClass { template, class });
+            }
         }
         let priority = sla.priority;
-        self.step_to(at);
 
-        let status = LoadStatus {
-            now: at,
-            pending: self.cluster.pending(),
-            in_flight: self.metrics.admitted() - self.metrics.completed(),
-            vms_in_flight: self.cluster.vms_in_flight(),
-            class,
-            priority,
-            class_pending: self.cluster.pending_of(class),
-        };
-        if !self.config.admission.admits(&status) {
-            self.metrics.reject_as(class);
-            return Ok(false);
+        // Admission, one arrival at a time: the virtual clock advances to
+        // each instant, and newcomers already admitted from this burst are
+        // folded into the pending/in-flight signals (they are not yet
+        // queued on the cluster, but they are committed to be).
+        let mut outcomes = Vec::with_capacity(arrivals.len());
+        let mut admitted: Vec<(TemplateId, Millis)> = Vec::new();
+        for &(template, at) in arrivals {
+            self.step_to(at);
+            let status = LoadStatus {
+                now: at,
+                pending: self.cluster.pending() + admitted.len(),
+                in_flight: self.metrics.admitted() - self.metrics.completed()
+                    + admitted.len() as u64,
+                vms_in_flight: self.cluster.vms_in_flight(),
+                class,
+                priority,
+                class_pending: self.cluster.pending_of(class) + admitted.len(),
+            };
+            if self.config.admission.admits(&status) {
+                admitted.push((template, at));
+                outcomes.push(OfferOutcome::Admitted);
+            } else {
+                self.metrics.reject_as(class);
+                outcomes.push(OfferOutcome::Shed);
+            }
         }
+        let Some(&(_, planned_at)) = admitted.last() else {
+            return Ok(outcomes);
+        };
 
-        let id = QueryId(self.arrival_of.len() as u32);
-        self.arrival_of.push(at);
-
-        // The batch: the newcomer plus every *same-class* query recalled
-        // unstarted. Other classes' queued placements stay put — their
-        // own next arrival may replan them.
+        // The batch: every admitted newcomer plus every *same-class* query
+        // recalled unstarted. Other classes' queued placements stay put —
+        // their own next arrival may replan them.
+        let first_id = self.arrival_of.len();
+        let mut batch: Vec<PendingArrival> = Vec::with_capacity(admitted.len());
+        for (i, &(template, at)) in admitted.iter().enumerate() {
+            batch.push(PendingArrival {
+                id: QueryId((first_id + i) as u32),
+                template,
+                arrival: at,
+            });
+            self.arrival_of.push(at);
+        }
         let recalled = self.cluster.recall_pending_of(class);
-        let mut batch: Vec<PendingArrival> = vec![PendingArrival {
-            id,
-            template,
-            arrival: at,
-        }];
         for r in &recalled {
             batch.push(PendingArrival {
                 id: r.query,
@@ -257,51 +318,134 @@ impl WorkloadService {
         let open = self.cluster.open_vm();
         // Assignments before the first provision step go to the open VM.
         let mut target = open.as_ref().map(|(index, _)| *index);
+        let target_type = open.as_ref().map(|(_, view)| view.vm_type);
         let view = ClusterView {
             vms_rented: self.cluster.vms_provisioned() as u32,
             open_vm: open.map(|(_, view)| view),
         };
 
         let started = Instant::now();
-        let plan = match self.scheduler.plan_arrivals(class, &view, &batch, at) {
-            Ok(plan) => plan,
-            Err(err) => {
-                // Planning failed (e.g. a retrain hit its search limits).
-                // Restore the recalled queries to their previous VMs and
-                // roll the newcomer back, so the service stays coherent
-                // for callers that handle the error and continue.
-                for r in recalled {
-                    self.cluster
-                        .enqueue_as(r.vm_index, r.query, r.template, r.class)
-                        .expect("restoring a just-recalled query cannot fail");
+        let planned = self
+            .scheduler
+            .plan_arrivals(class, &view, &batch, planned_at);
+        let plan = match planned {
+            Ok(plan) => {
+                self.metrics.decision(started.elapsed().as_secs_f64());
+                // A plan the cluster cannot honor (malformed or stale)
+                // must fail this request, not the process: check it in
+                // full before mutating anything.
+                match self.validate_plan(&plan, target_type) {
+                    Ok(()) => plan,
+                    Err(err) => return self.rollback_offer(recalled, first_id, err),
                 }
-                self.arrival_of.pop();
-                return Err(err);
             }
+            // Planning failed (e.g. a retrain hit its search limits).
+            Err(err) => return self.rollback_offer(recalled, first_id, err),
         };
-        self.metrics.decision(started.elapsed().as_secs_f64());
-        self.metrics.admit_as(class);
+        for _ in 0..admitted.len() {
+            self.metrics.admit_as(class);
+        }
         for step in plan.steps {
             match step {
                 PlannedStep::Provision(vm_type) => {
-                    let index = self
-                        .cluster
-                        .provision_as(vm_type, class)
-                        .expect("planned VM types come from the spec");
+                    // validate_plan checked the type against the spec; a
+                    // failure here still answers with a typed error.
+                    let index = self.cluster.provision_as(vm_type, class).map_err(|e| {
+                        CoreError::InconsistentPlan {
+                            detail: format!("provisioning planned {vm_type} failed: {e}"),
+                        }
+                    })?;
                     target = Some(index);
                 }
                 PlannedStep::Assign { query, template } => {
-                    // Placements were validated against the scheduling spec
-                    // during planning, and no time passes mid-dispatch, so
-                    // the target VM cannot have been released.
-                    let vm = target.expect("plans rent before placing when no VM is open");
+                    // validate_plan proved a target exists and supports the
+                    // template, and no time passes mid-dispatch, so the
+                    // target VM cannot have been released.
+                    let vm = target.ok_or_else(|| CoreError::InconsistentPlan {
+                        detail: format!("plan places {query:?} before renting any VM"),
+                    })?;
                     self.cluster
                         .enqueue_as(vm, query, template, class)
-                        .expect("planned placements are valid for their VM");
+                        .map_err(|e| CoreError::InconsistentPlan {
+                            detail: format!("queueing planned {query:?} on VM {vm} failed: {e}"),
+                        })?;
                 }
             }
         }
-        Ok(true)
+        Ok(outcomes)
+    }
+
+    /// Checks a plan's steps against the live cluster **before** any of
+    /// them is applied: every provision names a VM type of the spec, every
+    /// assignment has a VM to target (the open VM, or a provision step
+    /// earlier in the plan), and the target's type supports the template.
+    /// A malformed or stale plan is rejected as a typed
+    /// [`CoreError::InconsistentPlan`] while the service state is still
+    /// untouched (and therefore restorable).
+    fn validate_plan(
+        &self,
+        plan: &ArrivalPlan,
+        mut target_type: Option<VmTypeId>,
+    ) -> CoreResult<()> {
+        let spec = self.cluster.spec();
+        for step in &plan.steps {
+            match *step {
+                PlannedStep::Provision(vm_type) => {
+                    spec.vm_type(vm_type)
+                        .map_err(|e| CoreError::InconsistentPlan {
+                            detail: format!("plan provisions a VM type outside the spec: {e}"),
+                        })?;
+                    target_type = Some(vm_type);
+                }
+                PlannedStep::Assign { query, template } => {
+                    let Some(vm_type) = target_type else {
+                        return Err(CoreError::InconsistentPlan {
+                            detail: format!(
+                                "plan places {query:?} with no open VM and no prior provision step"
+                            ),
+                        });
+                    };
+                    if spec.latency(template, vm_type).is_none() {
+                        return Err(CoreError::InconsistentPlan {
+                            detail: format!(
+                                "plan places {query:?} ({template}) on unsupporting {vm_type}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unwinds a failed planning attempt: recalled queries go back to
+    /// their previous VMs and the burst's newcomers are dropped, so the
+    /// service stays coherent for callers that handle the error and
+    /// continue. Always returns `Err` — either the original error, or a
+    /// [`CoreError::InconsistentPlan`] if even the restore failed (a
+    /// cluster-state inconsistency the caller must know about).
+    fn rollback_offer<T>(
+        &mut self,
+        recalled: Vec<RecalledQuery>,
+        first_id: usize,
+        err: CoreError,
+    ) -> CoreResult<T> {
+        let mut restore_failure = None;
+        for r in recalled {
+            if let Err(e) = self
+                .cluster
+                .enqueue_as(r.vm_index, r.query, r.template, r.class)
+            {
+                restore_failure = Some(CoreError::InconsistentPlan {
+                    detail: format!(
+                        "planning failed ({err}) and restoring recalled {:?} failed: {e}",
+                        r.query
+                    ),
+                });
+            }
+        }
+        self.arrival_of.truncate(first_id);
+        Err(restore_failure.unwrap_or(err))
     }
 
     /// Advances the virtual clock, harvesting completions into the metrics.
@@ -626,6 +770,128 @@ mod tests {
             rows[0].rejected
         );
         assert_eq!(report.last.admitted + report.last.rejected, 30);
+    }
+
+    #[test]
+    fn single_element_bursts_are_bit_identical_to_offer_as() {
+        // offer_as delegates to offer_batch_as; this pins that a stream
+        // pushed through explicit one-element bursts reproduces the
+        // replayer exactly — the coalescing path's k=1 case is the
+        // legacy path.
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut process = PoissonProcess::per_second(0.05, TemplateMix::uniform(2));
+        let stream = generate_stream(&mut process, 20, 77);
+
+        let mut a = WorkloadService::train(spec.clone(), goal.clone(), config()).unwrap();
+        for q in &stream {
+            a.offer_as(q.template, q.class, q.arrival).unwrap();
+        }
+        a.drain();
+
+        let mut b = WorkloadService::train(spec, goal, config()).unwrap();
+        for q in &stream {
+            let outcomes = b
+                .offer_batch_as(q.class, &[(q.template, q.arrival)])
+                .unwrap();
+            assert_eq!(outcomes, vec![OfferOutcome::Admitted]);
+        }
+        b.drain();
+
+        assert_eq!(a.completions(), b.completions());
+        // Decision latency is wall-clock (reported, never steering), so it
+        // is the one legitimately nondeterministic field.
+        let (mut sa, mut sb) = (a.snapshot(), b.snapshot());
+        sa.mean_decision_secs = 0.0;
+        sa.p95_decision_secs = 0.0;
+        sb.mean_decision_secs = 0.0;
+        sb.p95_decision_secs = 0.0;
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn coalesced_bursts_plan_once_and_complete_everything() {
+        let mut svc = service(GoalKind::MaxLatency);
+        // Three arrivals in one burst: one plan call covers all three.
+        let burst = [
+            (TemplateId(0), Millis::from_secs(10)),
+            (TemplateId(1), Millis::from_secs(11)),
+            (TemplateId(1), Millis::from_secs(12)),
+        ];
+        let outcomes = svc.offer_batch_as(TenantId::DEFAULT, &burst).unwrap();
+        assert_eq!(outcomes, vec![OfferOutcome::Admitted; 3]);
+        svc.drain();
+        let last = svc.snapshot();
+        assert_eq!(last.admitted, 3);
+        assert_eq!(last.completed, 3);
+        // Admission still gates inside a burst: with MaxPending(1), the
+        // burst's own earlier newcomers trip the limit for later ones.
+        let mut cfg = config();
+        cfg.admission = AdmissionPolicy::MaxPending(1);
+        let spec = spec();
+        let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        let mut tight = WorkloadService::train(spec, goal, cfg).unwrap();
+        let outcomes = tight.offer_batch_as(TenantId::DEFAULT, &burst).unwrap();
+        assert_eq!(outcomes[0], OfferOutcome::Admitted);
+        assert!(
+            outcomes[1..].contains(&OfferOutcome::Shed),
+            "burst-local pending must count toward admission: {outcomes:?}"
+        );
+        tight.drain();
+        let last = tight.snapshot();
+        assert_eq!(last.admitted + last.rejected, 3);
+    }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        let mut svc = service(GoalKind::MaxLatency);
+        assert_eq!(svc.offer_batch_as(TenantId::DEFAULT, &[]).unwrap(), vec![]);
+        assert_eq!(svc.snapshot().admitted, 0);
+    }
+
+    #[test]
+    fn inconsistent_plans_fail_the_request_not_the_process() {
+        // Drive validate_plan directly with malformed plans: an assignment
+        // with no VM to target, a provision outside the spec, and an
+        // unsupported placement must all come back as typed errors.
+        let svc = service(GoalKind::MaxLatency);
+        let bad_target = ArrivalPlan {
+            steps: vec![PlannedStep::Assign {
+                query: QueryId(0),
+                template: TemplateId(0),
+            }],
+            retrained: false,
+            cache_hit: false,
+            shifted: false,
+        };
+        assert!(matches!(
+            svc.validate_plan(&bad_target, None),
+            Err(CoreError::InconsistentPlan { .. })
+        ));
+        let bad_type = ArrivalPlan {
+            steps: vec![PlannedStep::Provision(wisedb_core::VmTypeId(99))],
+            retrained: false,
+            cache_hit: false,
+            shifted: false,
+        };
+        assert!(matches!(
+            svc.validate_plan(&bad_type, None),
+            Err(CoreError::InconsistentPlan { .. })
+        ));
+        // A well-formed plan passes.
+        let good = ArrivalPlan {
+            steps: vec![
+                PlannedStep::Provision(wisedb_core::VmTypeId(0)),
+                PlannedStep::Assign {
+                    query: QueryId(0),
+                    template: TemplateId(1),
+                },
+            ],
+            retrained: false,
+            cache_hit: false,
+            shifted: false,
+        };
+        assert!(svc.validate_plan(&good, None).is_ok());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Request batching: the scheduler thread's command queue and the
+//! drain-and-coalesce policy that turns a backlog into few plan calls.
+//!
+//! Connection workers translate wire requests into [`Command`]s and push
+//! them onto one mpsc queue; a single scheduler thread owns the
+//! `WorkloadService` and consumes them. When load outruns the scheduler,
+//! commands pile up behind the in-progress plan — so each wakeup
+//! [`drain`]s everything already queued and [`coalesce`]s *consecutive
+//! same-class offers* into one group, which the server answers with one
+//! `offer_batch_as` call (one `plan_arrivals`) instead of one per
+//! request. Order is never reshuffled: coalescing only merges neighbors,
+//! so cross-class interleavings plan in arrival order and the k=1 case
+//! is bit-identical to the unbatched path.
+//!
+//! This module is pure queue-and-group logic — no sockets — so the
+//! coalescing policy is unit-tested in isolation.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use wisedb_core::{Millis, TemplateId, TenantId};
+
+use crate::wire::Response;
+
+/// How many commands one wakeup may drain into a single batch. Bounds
+/// both the coalesced burst size and how long early requests wait for
+/// stragglers draining behind them.
+pub const MAX_DRAIN: usize = 64;
+
+/// One unit of work for the scheduler thread.
+pub enum Command {
+    /// Offer an arrival; the outcome goes back over `reply`.
+    Offer {
+        /// The arrival's SLA class.
+        class: TenantId,
+        /// The arriving query's template.
+        template: TemplateId,
+        /// The arrival's virtual-clock instant.
+        at: Millis,
+        /// Where the connection worker awaits the answer.
+        reply: Sender<Response>,
+    },
+    /// Snapshot the metrics.
+    Metrics {
+        /// Where the connection worker awaits the answer.
+        reply: Sender<Response>,
+    },
+    /// Validate and schedule a background retrain of `class`'s model.
+    /// (The finished model comes back on a separate swap channel — see
+    /// `server::FinishedSwap` — which the scheduler polls between
+    /// wakeups, so the command queue never holds a sender to itself.)
+    Swap {
+        /// Which class's model to retrain.
+        class: TenantId,
+        /// Sampling seed for the replacement model.
+        seed: u64,
+        /// Answered as soon as the retrain is scheduled (or rejected).
+        reply: Sender<Response>,
+    },
+}
+
+/// One offer inside a coalesced group, reply channel and all.
+pub struct OfferEntry {
+    /// The arriving query's template.
+    pub template: TemplateId,
+    /// The arrival's virtual-clock instant.
+    pub at: Millis,
+    /// Where the connection worker awaits the answer.
+    pub reply: Sender<Response>,
+}
+
+/// What one scheduler wakeup executes: either a coalesced run of offers
+/// (one plan call) or a single non-offer command.
+pub enum Group {
+    /// Consecutive same-class offers, planned together.
+    Offers {
+        /// The shared SLA class.
+        class: TenantId,
+        /// The arrivals, in queue order.
+        offers: Vec<OfferEntry>,
+    },
+    /// Any other command, executed on its own.
+    Other(Command),
+}
+
+/// Drains the queue without blocking: `first` (already received) plus
+/// whatever else is waiting, up to [`MAX_DRAIN`] commands.
+pub fn drain(rx: &Receiver<Command>, first: Command) -> Vec<Command> {
+    let mut commands = vec![first];
+    while commands.len() < MAX_DRAIN {
+        match rx.try_recv() {
+            Ok(cmd) => commands.push(cmd),
+            Err(_) => break,
+        }
+    }
+    commands
+}
+
+/// Groups consecutive same-class offers; everything else passes through
+/// in place. Queue order is preserved exactly.
+pub fn coalesce(commands: Vec<Command>) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    for cmd in commands {
+        match cmd {
+            Command::Offer {
+                class,
+                template,
+                at,
+                reply,
+            } => {
+                let entry = OfferEntry {
+                    template,
+                    at,
+                    reply,
+                };
+                match groups.last_mut() {
+                    Some(Group::Offers {
+                        class: open_class,
+                        offers,
+                    }) if *open_class == class => offers.push(entry),
+                    _ => groups.push(Group::Offers {
+                        class,
+                        offers: vec![entry],
+                    }),
+                }
+            }
+            other => groups.push(Group::Other(other)),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn offer(class: u32, template: u32, at_secs: u64) -> (Command, Receiver<Response>) {
+        let (reply, rx) = channel();
+        (
+            Command::Offer {
+                class: TenantId(class),
+                template: TemplateId(template),
+                at: Millis::from_secs(at_secs),
+                reply,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn consecutive_same_class_offers_merge_into_one_group() {
+        let cmds = vec![offer(0, 0, 1).0, offer(0, 1, 2).0, offer(0, 0, 3).0];
+        let groups = coalesce(cmds);
+        assert_eq!(groups.len(), 1);
+        match &groups[0] {
+            Group::Offers { class, offers } => {
+                assert_eq!(*class, TenantId(0));
+                assert_eq!(offers.len(), 3);
+                // Queue order survives coalescing.
+                let ats: Vec<u64> = offers.iter().map(|o| o.at.as_millis() / 1000).collect();
+                assert_eq!(ats, vec![1, 2, 3]);
+            }
+            Group::Other(_) => panic!("expected a coalesced offer group"),
+        }
+    }
+
+    #[test]
+    fn class_changes_and_interleaved_commands_split_groups() {
+        let (metrics_reply, _keep) = channel();
+        let cmds = vec![
+            offer(0, 0, 1).0,
+            offer(1, 0, 2).0, // class change: new group
+            offer(1, 1, 3).0,
+            Command::Metrics {
+                reply: metrics_reply,
+            }, // interleaved non-offer: barrier
+            offer(1, 0, 4).0, // same class as before the barrier, but a new group
+        ];
+        let groups = coalesce(cmds);
+        assert_eq!(groups.len(), 4);
+        let sizes: Vec<usize> = groups
+            .iter()
+            .map(|g| match g {
+                Group::Offers { offers, .. } => offers.len(),
+                Group::Other(_) => 0,
+            })
+            .collect();
+        assert_eq!(sizes, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn drain_pulls_the_backlog_without_blocking() {
+        let (tx, rx) = channel();
+        let (first, _r0) = offer(0, 0, 1);
+        let backlog: Vec<Receiver<Response>> = (0..5)
+            .map(|i| {
+                let (cmd, r) = offer(0, 0, 2 + i);
+                tx.send(cmd).unwrap();
+                r
+            })
+            .collect();
+        let commands = drain(&rx, first);
+        assert_eq!(commands.len(), 6);
+        // The queue is empty now; drain must not have blocked waiting for more.
+        assert!(rx.try_recv().is_err());
+        drop(backlog);
+    }
+
+    #[test]
+    fn drain_respects_the_batch_cap() {
+        let (tx, rx) = channel();
+        let keep: Vec<Receiver<Response>> = (0..MAX_DRAIN + 10)
+            .map(|i| {
+                let (cmd, r) = offer(0, 0, i as u64);
+                tx.send(cmd).unwrap();
+                r
+            })
+            .collect();
+        let (first, _r0) = offer(0, 0, 0);
+        let commands = drain(&rx, first);
+        assert_eq!(commands.len(), MAX_DRAIN);
+        // The overflow is still queued for the next wakeup.
+        assert!(rx.try_recv().is_ok());
+        drop(keep);
+    }
+}

@@ -1,0 +1,475 @@
+//! The TCP server: accept loop, connection workers, one scheduler thread.
+//!
+//! ```text
+//!             TcpListener
+//!                  │ accept
+//!           ┌──────┴──────┐
+//!           │ accept loop │──── shutdown: AtomicBool + self-connect wake
+//!           └──────┬──────┘
+//!                  │ execute(conn)
+//!        ┌─────────┼─────────┐
+//!   ┌────┴───┐ ┌───┴────┐ ┌──┴─────┐
+//!   │worker 0│ │worker 1│ │worker N│   threadpool: frame I/O + JSON only
+//!   └────┬───┘ └───┬────┘ └──┬─────┘
+//!        └─────────┼─────────┘
+//!                  │ mpsc<Command> (reply channel per request)
+//!          ┌───────┴────────┐      ┌────────────────┐
+//!          │scheduler thread│◄─────│ trainer threads │ ApplySwap
+//!          │ WorkloadService│      │ (SwapModel)     │
+//!          └────────────────┘      └────────────────┘
+//! ```
+//!
+//! Only the scheduler thread touches the [`WorkloadService`]; connection
+//! workers parse frames and wait on per-request reply channels, so the
+//! virtual clock and every plan stays single-threaded and deterministic.
+//! Each scheduler wakeup drains the queued backlog and coalesces
+//! consecutive same-class offers into one `offer_batch_as` call (see
+//! [`crate::batch`]) — request batching kicks in exactly when load
+//! outruns planning. Overload never drops a connection: admission
+//! control's verdict travels back as a first-class [`Response::Shed`].
+//!
+//! No `expect()`/`unwrap()` sits on the request path: malformed frames,
+//! undecodable payloads, unknown classes, and inconsistent plans each
+//! fail their own request with a typed [`Response::Error`] while the
+//! server keeps accepting.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use threadpool::ThreadPool;
+use wisedb_advisor::{DecisionModel, ModelGenerator, TrainingArtifacts};
+use wisedb_core::TenantId;
+use wisedb_runtime::{OfferOutcome, WorkloadService};
+
+use crate::batch::{coalesce, drain, Command, Group, OfferEntry};
+use crate::error::ServeError;
+use crate::frame::{read_frame, write_frame, FrameKind, FrameRead};
+use crate::wire::{decode_request, encode_response, Request, Response};
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub bind: String,
+    /// Connection worker threads: how many clients can be mid-request at
+    /// once. The scheduler itself is always exactly one thread.
+    pub workers: usize,
+    /// Read-timeout tick on accepted connections: how often an idle
+    /// worker re-checks the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 4,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The serve layer's entry point: spawns the threads around a trained
+/// [`WorkloadService`].
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop, worker pool, and scheduler thread,
+    /// and returns a handle. The service must already be trained; no
+    /// model work happens on the connection path.
+    pub fn spawn(service: WorkloadService, config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (cmd_tx, cmd_rx) = channel::<Command>();
+        // Finished retrains ride a channel of their own: if they shared
+        // the command queue, the scheduler would hold a sender to itself
+        // and recv() could never disconnect at shutdown.
+        let (swap_tx, swap_rx) = channel::<FinishedSwap>();
+
+        let scheduler = thread::Builder::new()
+            .name("wisedb-scheduler".to_string())
+            .spawn(move || scheduler_loop(service, cmd_rx, swap_rx, swap_tx))?;
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let cmd_tx = cmd_tx.clone();
+            let config = config.clone();
+            thread::Builder::new()
+                .name("wisedb-accept".to_string())
+                .spawn(move || accept_loop(listener, addr, cmd_tx, shutdown, config))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            cmd_tx: Some(cmd_tx),
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+        })
+    }
+}
+
+/// A running server: its address and its off switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    cmd_tx: Option<Sender<Command>>,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<WorkloadService>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `bind` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips the shutdown flag and wakes the accept loop. Idempotent;
+    /// also reachable over the wire via [`Request::Shutdown`].
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shutdown, self.addr);
+    }
+
+    /// Shuts down and joins every thread, handing the (drained of
+    /// threads, not of queries) service back for inspection — the e2e
+    /// tests compare its snapshot against an in-process run.
+    pub fn join(mut self) -> Option<WorkloadService> {
+        self.wind_down()
+    }
+
+    fn wind_down(&mut self) -> Option<WorkloadService> {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop's pool has joined its workers, so every cloned
+        // sender is gone once ours drops — the scheduler's recv() then
+        // disconnects and the thread returns the service.
+        drop(self.cmd_tx.take());
+        self.scheduler.take().and_then(|s| s.join().ok())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.wind_down();
+    }
+}
+
+/// Sets the flag, then self-connects so a blocked `accept()` observes it.
+fn request_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    cmd_tx: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    let pool = ThreadPool::new(config.workers.max(1));
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // the wake connection, or a late client
+                }
+                let cmd_tx = cmd_tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let poll = config.poll_interval;
+                pool.execute(move || handle_connection(stream, addr, cmd_tx, shutdown, poll));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // keep serving.
+            }
+        }
+    }
+    // Dropping the pool joins the workers; their cloned senders go with
+    // them, letting the scheduler thread observe disconnect.
+    drop(pool);
+}
+
+/// One connection's lifetime: read frames, dispatch, answer — until the
+/// client hangs up, the stream turns untrustworthy, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    addr: SocketAddr,
+    cmd_tx: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+    poll: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the shutdown poll tick: an idle connection
+    // re-checks the flag instead of pinning its worker forever.
+    let _ = stream.set_read_timeout(Some(poll));
+    let mut stream = stream;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(FrameKind::Request, payload)) => {
+                match decode_request(&payload) {
+                    Ok(Request::Shutdown) => {
+                        // Acknowledge first so the client sees the answer,
+                        // then wind the listener down.
+                        let _ = respond(&mut stream, &Response::Ok);
+                        request_shutdown(&shutdown, addr);
+                        return;
+                    }
+                    Ok(request) => {
+                        let response = dispatch(request, &cmd_tx);
+                        if respond(&mut stream, &response).is_err() {
+                            return;
+                        }
+                    }
+                    // Payload-level failure: this request fails, the
+                    // connection (and its framing) is still sound.
+                    Err(err) => {
+                        let response = Response::Error {
+                            message: err.to_string(),
+                        };
+                        if respond(&mut stream, &response).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            // A client must not send Response frames.
+            Ok(FrameRead::Frame(FrameKind::Response, _)) => {
+                let response = Response::Error {
+                    message: "protocol violation: client sent a response frame".to_string(),
+                };
+                let _ = respond(&mut stream, &response);
+                return;
+            }
+            // Framing violation: answer once, then close — the byte
+            // stream can no longer be trusted.
+            Err(ServeError::Frame { detail }) => {
+                let response = Response::Error {
+                    message: format!("malformed frame: {detail}"),
+                };
+                let _ = respond(&mut stream, &response);
+                return;
+            }
+            // Truncated frame or dead socket: nothing to answer.
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let payload = encode_response(response).map_err(io::Error::other)?;
+    write_frame(stream, FrameKind::Response, &payload)
+}
+
+/// Ships a request to the scheduler thread and waits for its answer.
+fn dispatch(request: Request, cmd_tx: &Sender<Command>) -> Response {
+    let (reply, reply_rx) = channel();
+    let command = match request {
+        Request::Offer {
+            class,
+            template,
+            at,
+        } => Command::Offer {
+            class,
+            template,
+            at,
+            reply,
+        },
+        Request::Metrics => Command::Metrics { reply },
+        Request::SwapModel { class, seed } => Command::Swap { class, seed, reply },
+        // Handled by the connection loop before dispatch.
+        Request::Shutdown => return Response::Ok,
+    };
+    if cmd_tx.send(command).is_err() {
+        return scheduler_gone();
+    }
+    match reply_rx.recv() {
+        Ok(response) => response,
+        Err(_) => scheduler_gone(),
+    }
+}
+
+fn scheduler_gone() -> Response {
+    Response::Error {
+        message: "scheduler is shutting down".to_string(),
+    }
+}
+
+/// A background retrain's result, waiting to be swapped in by the
+/// scheduler thread between wakeups.
+struct FinishedSwap {
+    class: TenantId,
+    model: Box<DecisionModel>,
+    artifacts: Box<TrainingArtifacts>,
+}
+
+/// The single thread that owns the service. Each wakeup applies any
+/// finished model swaps (so the next arrival plans on the new model),
+/// then drains the backlog, coalesces it, and executes group by group.
+/// It exits (handing the service back) when every command sender is
+/// gone — the swap channel is only ever `try_recv`'d, so holding its
+/// sender here cannot wedge shutdown.
+fn scheduler_loop(
+    mut service: WorkloadService,
+    cmd_rx: Receiver<Command>,
+    swap_rx: Receiver<FinishedSwap>,
+    swap_tx: Sender<FinishedSwap>,
+) -> WorkloadService {
+    while let Ok(first) = cmd_rx.recv() {
+        while let Ok(swap) = swap_rx.try_recv() {
+            // A failed apply (model/goal mismatch) drops the retrained
+            // model; the serving model stays.
+            let _ = service.swap_model(swap.class, *swap.model, *swap.artifacts);
+        }
+        let backlog = drain(&cmd_rx, first);
+        for group in coalesce(backlog) {
+            match group {
+                Group::Offers { class, offers } => handle_offers(&mut service, class, offers),
+                Group::Other(command) => handle_command(&mut service, command, &swap_tx),
+            }
+        }
+    }
+    service
+}
+
+/// One coalesced burst: pre-validate each offer individually (a bad
+/// request must not fail its batch neighbors), then plan the valid rest
+/// with a single `offer_batch_as` call and route each outcome to its
+/// reply channel. If planning itself fails, the service has rolled the
+/// burst back — the whole group shares that fate.
+fn handle_offers(service: &mut WorkloadService, class: TenantId, offers: Vec<OfferEntry>) {
+    let Some(sla) = service.classes().get(class.index()).cloned() else {
+        let message = format!(
+            "unknown tenant class {class:?} (service has {} classes)",
+            service.classes().len()
+        );
+        for offer in offers {
+            let _ = offer.reply.send(Response::Error {
+                message: message.clone(),
+            });
+        }
+        return;
+    };
+    let num_templates = service.spec().num_templates();
+
+    let mut valid: Vec<OfferEntry> = Vec::with_capacity(offers.len());
+    for offer in offers {
+        if offer.template.index() >= num_templates {
+            let _ = offer.reply.send(Response::Error {
+                message: format!(
+                    "{} is outside the spec ({num_templates} templates)",
+                    offer.template
+                ),
+            });
+        } else if !sla.allows(offer.template) {
+            let _ = offer.reply.send(Response::Error {
+                message: format!("{} is not in class {:?}'s subset", offer.template, class),
+            });
+        } else {
+            valid.push(offer);
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    let batch: Vec<_> = valid.iter().map(|o| (o.template, o.at)).collect();
+    match service.offer_batch_as(class, &batch) {
+        Ok(outcomes) => {
+            for (offer, outcome) in valid.into_iter().zip(outcomes) {
+                let response = match outcome {
+                    OfferOutcome::Admitted => Response::Admitted,
+                    OfferOutcome::Shed => Response::Shed,
+                };
+                let _ = offer.reply.send(response);
+            }
+        }
+        // The service rolled the burst back; every member fails with the
+        // same typed reason, and the server keeps accepting.
+        Err(err) => {
+            let message = err.to_string();
+            for offer in valid {
+                let _ = offer.reply.send(Response::Error {
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn handle_command(service: &mut WorkloadService, command: Command, swap_tx: &Sender<FinishedSwap>) {
+    match command {
+        Command::Metrics { reply } => {
+            let _ = reply.send(Response::Metrics(service.snapshot()));
+        }
+        Command::Swap { class, seed, reply } => {
+            let _ = reply.send(schedule_retrain(service, class, seed, swap_tx));
+        }
+        // Offers are grouped before they get here.
+        Command::Offer { reply, .. } => {
+            let _ = reply.send(Response::Error {
+                message: "internal: offer escaped coalescing".to_string(),
+            });
+        }
+    }
+}
+
+/// Validates the class, then trains a replacement model on a background
+/// thread; the trainer posts the result onto the swap channel, and the
+/// scheduler thread applies it between wakeups. Training artifacts never
+/// cross the wire — they are rebuilt here, server-side.
+fn schedule_retrain(
+    service: &WorkloadService,
+    class: TenantId,
+    seed: u64,
+    swap_tx: &Sender<FinishedSwap>,
+) -> Response {
+    let scheduler = match service.scheduler(class) {
+        Ok(s) => s,
+        Err(err) => {
+            return Response::Error {
+                message: err.to_string(),
+            }
+        }
+    };
+    let spec = scheduler.base_model().spec_handle().clone();
+    let goal = service.classes()[class.index()].goal.clone();
+    let training = service.config().online.training.clone().with_seed(seed);
+    let swap_tx = swap_tx.clone();
+    let spawned = thread::Builder::new()
+        .name(format!("wisedb-trainer-{}", class.index()))
+        .spawn(move || {
+            if let Ok((model, artifacts)) =
+                ModelGenerator::new(spec, goal, training).train_with_artifacts()
+            {
+                let _ = swap_tx.send(FinishedSwap {
+                    class,
+                    model: Box::new(model),
+                    artifacts: Box::new(artifacts),
+                });
+            }
+        });
+    match spawned {
+        Ok(_) => Response::Ok,
+        Err(err) => Response::Error {
+            message: format!("could not start trainer thread: {err}"),
+        },
+    }
+}

@@ -31,6 +31,9 @@
 //! * [`runtime`](wisedb_runtime) — the streaming online service: arrival
 //!   processes, admission control, the virtual-clock event loop, and live
 //!   SLA metrics.
+//! * [`serve`](wisedb_serve) — the network-facing deployment: the runtime
+//!   loop behind a versioned TCP wire protocol, with request batching,
+//!   graceful shedding, and hot model swaps over the wire.
 //!
 //! ## Building and running
 //!
@@ -111,6 +114,7 @@ pub use wisedb_core as core;
 pub use wisedb_learn as learn;
 pub use wisedb_runtime as runtime;
 pub use wisedb_search as search;
+pub use wisedb_serve as serve;
 pub use wisedb_sim as sim;
 
 /// One-stop imports for applications using the advisor.
@@ -133,5 +137,6 @@ pub mod prelude {
     };
     pub use wisedb_search::astar::{AStarSearcher, OptimalSchedule};
     pub use wisedb_search::strategy::{SearchConfig, SearchStrategy, Solver};
+    pub use wisedb_serve::{Client, ServeConfig, Server, ServerHandle};
     pub use wisedb_sim::{LiveCluster, LiveOptions};
 }

@@ -1,0 +1,170 @@
+//! Vendored, offline stand-in for the `byteorder` crate (1.x API surface).
+//!
+//! Provides exactly what this workspace uses for its wire protocol:
+//! [`BigEndian`] / [`LittleEndian`] byte orders and the [`ReadBytesExt`] /
+//! [`WriteBytesExt`] extension traits over `std::io` streams for `u8` /
+//! `u16` / `u32` / `u64`. Swappable for the real crate: call sites compile
+//! unchanged against crates.io `byteorder`.
+
+use std::io;
+
+/// An endianness: how multi-byte integers lay out on the wire.
+pub trait ByteOrder {
+    /// Reads a `u16` from the first two bytes of `buf`.
+    fn read_u16(buf: &[u8]) -> u16;
+    /// Reads a `u32` from the first four bytes of `buf`.
+    fn read_u32(buf: &[u8]) -> u32;
+    /// Reads a `u64` from the first eight bytes of `buf`.
+    fn read_u64(buf: &[u8]) -> u64;
+    /// Writes `n` into the first two bytes of `buf`.
+    fn write_u16(buf: &mut [u8], n: u16);
+    /// Writes `n` into the first four bytes of `buf`.
+    fn write_u32(buf: &mut [u8], n: u32);
+    /// Writes `n` into the first eight bytes of `buf`.
+    fn write_u64(buf: &mut [u8], n: u64);
+}
+
+/// Network byte order (most significant byte first).
+#[derive(Debug, Clone, Copy)]
+pub enum BigEndian {}
+
+/// Least significant byte first.
+#[derive(Debug, Clone, Copy)]
+pub enum LittleEndian {}
+
+/// `BigEndian` under byteorder's network-order alias.
+pub type NetworkEndian = BigEndian;
+
+macro_rules! order_impl {
+    ($order:ty, $from:ident, $to:ident) => {
+        impl ByteOrder for $order {
+            fn read_u16(buf: &[u8]) -> u16 {
+                u16::$from(buf[..2].try_into().expect("two bytes"))
+            }
+            fn read_u32(buf: &[u8]) -> u32 {
+                u32::$from(buf[..4].try_into().expect("four bytes"))
+            }
+            fn read_u64(buf: &[u8]) -> u64 {
+                u64::$from(buf[..8].try_into().expect("eight bytes"))
+            }
+            fn write_u16(buf: &mut [u8], n: u16) {
+                buf[..2].copy_from_slice(&n.$to());
+            }
+            fn write_u32(buf: &mut [u8], n: u32) {
+                buf[..4].copy_from_slice(&n.$to());
+            }
+            fn write_u64(buf: &mut [u8], n: u64) {
+                buf[..8].copy_from_slice(&n.$to());
+            }
+        }
+    };
+}
+
+order_impl!(BigEndian, from_be_bytes, to_be_bytes);
+order_impl!(LittleEndian, from_le_bytes, to_le_bytes);
+
+/// Reads fixed-width integers off any `io::Read`.
+pub trait ReadBytesExt: io::Read {
+    /// Reads one byte.
+    fn read_u8(&mut self) -> io::Result<u8> {
+        let mut buf = [0u8; 1];
+        self.read_exact(&mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Reads a `u16` in byte order `B`.
+    fn read_u16<B: ByteOrder>(&mut self) -> io::Result<u16> {
+        let mut buf = [0u8; 2];
+        self.read_exact(&mut buf)?;
+        Ok(B::read_u16(&buf))
+    }
+
+    /// Reads a `u32` in byte order `B`.
+    fn read_u32<B: ByteOrder>(&mut self) -> io::Result<u32> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf)?;
+        Ok(B::read_u32(&buf))
+    }
+
+    /// Reads a `u64` in byte order `B`.
+    fn read_u64<B: ByteOrder>(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf)?;
+        Ok(B::read_u64(&buf))
+    }
+}
+
+impl<R: io::Read + ?Sized> ReadBytesExt for R {}
+
+/// Writes fixed-width integers onto any `io::Write`.
+pub trait WriteBytesExt: io::Write {
+    /// Writes one byte.
+    fn write_u8(&mut self, n: u8) -> io::Result<()> {
+        self.write_all(&[n])
+    }
+
+    /// Writes a `u16` in byte order `B`.
+    fn write_u16<B: ByteOrder>(&mut self, n: u16) -> io::Result<()> {
+        let mut buf = [0u8; 2];
+        B::write_u16(&mut buf, n);
+        self.write_all(&buf)
+    }
+
+    /// Writes a `u32` in byte order `B`.
+    fn write_u32<B: ByteOrder>(&mut self, n: u32) -> io::Result<()> {
+        let mut buf = [0u8; 4];
+        B::write_u32(&mut buf, n);
+        self.write_all(&buf)
+    }
+
+    /// Writes a `u64` in byte order `B`.
+    fn write_u64<B: ByteOrder>(&mut self, n: u64) -> io::Result<()> {
+        let mut buf = [0u8; 8];
+        B::write_u64(&mut buf, n);
+        self.write_all(&buf)
+    }
+}
+
+impl<W: io::Write + ?Sized> WriteBytesExt for W {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_in_both_orders() {
+        let mut buf = Vec::new();
+        buf.write_u8(0xAB).unwrap();
+        buf.write_u16::<BigEndian>(0x1234).unwrap();
+        buf.write_u32::<BigEndian>(0xDEAD_BEEF).unwrap();
+        buf.write_u64::<LittleEndian>(0x0102_0304_0506_0708)
+            .unwrap();
+
+        let mut r = &buf[..];
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u16::<BigEndian>().unwrap(), 0x1234);
+        assert_eq!(r.read_u32::<BigEndian>().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64::<LittleEndian>().unwrap(), 0x0102_0304_0506_0708);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn big_endian_wire_layout_is_network_order() {
+        let mut buf = Vec::new();
+        buf.write_u32::<BigEndian>(0x0102_0304).unwrap();
+        assert_eq!(buf, [0x01, 0x02, 0x03, 0x04]);
+        let mut buf = Vec::new();
+        buf.write_u16::<NetworkEndian>(0x0102).unwrap();
+        assert_eq!(buf, [0x01, 0x02]);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let short = [0x01u8, 0x02];
+        let mut r = &short[..];
+        assert_eq!(
+            r.read_u32::<BigEndian>().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

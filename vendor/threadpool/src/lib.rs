@@ -1,0 +1,204 @@
+//! Vendored, offline stand-in for the `threadpool` crate (1.x API surface).
+//!
+//! A fixed-size pool of worker threads draining a shared job queue.
+//! Provides exactly what this workspace uses: [`ThreadPool::new`],
+//! [`ThreadPool::execute`], [`ThreadPool::join`], and a [`Drop`] that
+//! closes the queue and joins every worker. Swappable for the real
+//! crate: call sites compile unchanged against crates.io `threadpool`.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{Builder, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Jobs in flight or queued, plus a condvar so `join` can wait for zero.
+struct Pending {
+    count: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Pending {
+    fn enter(&self) {
+        *self.count.lock().expect("pending lock poisoned") += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.count.lock().expect("pending lock poisoned");
+        *count -= 1;
+        if *count == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut count = self.count.lock().expect("pending lock poisoned");
+        while *count > 0 {
+            count = self.idle.wait(count).expect("pending lock poisoned");
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing queued closures.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero or the OS refuses to spawn a
+    /// thread.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(
+            num_threads > 0,
+            "ThreadPool::new requires at least one thread"
+        );
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let pending = Arc::new(Pending {
+            count: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let workers = (0..num_threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let pending = Arc::clone(&pending);
+                Builder::new()
+                    .name(format!("threadpool-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &pending))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            pending,
+        }
+    }
+
+    /// Queues `job` for execution on some worker thread.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.pending.enter();
+        let sent = self
+            .sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job));
+        if sent.is_err() {
+            // All workers are gone; the job will never run.
+            self.pending.exit();
+        }
+    }
+
+    /// Blocks until every queued and in-flight job has finished.
+    ///
+    /// Unlike `Drop`, the pool stays usable afterwards.
+    pub fn join(&self) {
+        self.pending.wait_idle();
+    }
+
+    /// The number of worker threads in the pool.
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail once the
+        // queue drains, so each exits its loop; then join them all.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, pending: &Pending) {
+    loop {
+        // Hold the lock only while receiving so workers pull jobs
+        // concurrently with each other's execution.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                job();
+                pending.exit();
+            }
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_queued_job() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn join_leaves_the_pool_usable() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            for _ in 0..10 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.join();
+            assert_eq!(hits.load(Ordering::SeqCst), (round + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn drop_waits_for_in_flight_jobs() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..20 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn max_count_reports_worker_threads() {
+        assert_eq!(ThreadPool::new(3).max_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}
