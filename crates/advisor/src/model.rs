@@ -292,6 +292,7 @@ impl ModelGenerator {
     /// Trains a model and returns the artifacts needed to re-train cheaply
     /// for stricter goals (strategy recommendation, online shifting).
     pub fn train_with_artifacts(&self) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
+        let mut span = wisedb_obs::span("train.model");
         self.goal.validate_against(&self.spec)?;
         let samples = self.sample_workloads();
         let mut searchers: Vec<AdaptiveSearcher> = (0..samples.len())
@@ -300,6 +301,11 @@ impl ModelGenerator {
         let start = Instant::now();
         let (paths, expanded) = self.solve_samples(&self.goal, &samples, &mut searchers)?;
         let model = self.fit_tree(&paths, expanded, start);
+        if span.recording() {
+            span.attr_u64("samples", samples.len() as u64);
+            span.attr_u64("expanded", expanded);
+            span.attr_str("goal", self.goal.kind().name());
+        }
         Ok((model, TrainingArtifacts { samples, searchers }))
     }
 
@@ -351,8 +357,18 @@ impl ModelGenerator {
             let mut paths = Vec::with_capacity(ws.len());
             let mut expanded = 0u64;
             for (workload, searcher) in ws.iter().zip(ss.iter_mut()) {
+                // Per-sample training span: worker threads share the
+                // collector through the global sender, and the merge
+                // below stays in sample order regardless.
+                let mut sample_span = wisedb_obs::span("train.sample");
                 let solved =
                     searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
+                if sample_span.recording() {
+                    sample_span.attr_u64("queries", workload.len() as u64);
+                    sample_span.attr_u64("expanded", solved.stats.expanded);
+                }
+                drop(sample_span);
+                wisedb_obs::counter_add("wisedb_train_samples_total", 1);
                 expanded += solved.stats.expanded;
                 paths.push(solved);
             }

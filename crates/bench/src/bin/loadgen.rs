@@ -17,14 +17,74 @@
 //!   (microseconds), e.g. for saturated CI runners.
 //! * `WISEDB_SKIP_SLO=1` — report only, never fail (the regress harness
 //!   gates times separately).
+//! * `--trace <path>` — record the replay with full `wisedb-obs` spans,
+//!   write a Chrome trace-event JSON to `path`, validate it by parsing
+//!   it back (see `wisedb_bench::trace_check`), and require the serve
+//!   pipeline spans plus a non-trivial wire `Telemetry` exposition. Note
+//!   tracing adds overhead — CI runs the SLO gate untraced.
 
-use wisedb_bench::{serve_load, Scale, Table};
+use wisedb_bench::{serve_load, trace_check, Scale, Table};
 
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// The `--trace` smoke: the artifact must parse back as well-formed
+/// Chrome JSON, contain every serve pipeline stage, and the wire
+/// telemetry must have recorded the replay's connections.
+fn validate_trace(path: &std::path::Path, report: &serve_load::LoadReport) {
+    let text = std::fs::read_to_string(path).expect("trace artifact is readable");
+    let check = trace_check::validate_chrome_trace(&text)
+        .unwrap_or_else(|e| panic!("trace artifact failed validation: {e}"));
+    for span in [
+        "serve.decode",
+        "serve.dispatch",
+        "serve.encode",
+        "serve.tick",
+        "serve.plan",
+        "serve.queue_wait",
+    ] {
+        assert!(
+            check.span(span).count > 0,
+            "trace artifact has no {span} spans"
+        );
+    }
+    assert!(
+        report.telemetry.contains("wisedb_serve_connections_total"),
+        "wire telemetry did not expose the serve counters:\n{}",
+        report.telemetry
+    );
+    // The worker-side pipeline spans (decode → dispatch → encode) are
+    // disjoint intervals inside each round trip, so their sum can never
+    // exceed the client's summed round-trip time — and must account for
+    // a healthy share of it (the rest is socket transit and client
+    // syscalls, invisible to server-side spans; ~55–60% covered on an
+    // idle machine, floor set low for saturated CI runners).
+    let pipeline_us = check.span("serve.decode").total_us
+        + check.span("serve.dispatch").total_us
+        + check.span("serve.encode").total_us;
+    let coverage = pipeline_us as f64 / report.total_us.max(1) as f64;
+    assert!(
+        pipeline_us <= report.total_us,
+        "server-side spans ({pipeline_us}us) exceed the summed round trips ({}us)",
+        report.total_us
+    );
+    assert!(
+        coverage >= 0.30,
+        "server-side spans cover only {:.0}% of the round trips",
+        coverage * 100.0
+    );
+    eprintln!(
+        "loadgen: trace validated ({} events, {} serve.dispatch spans, \
+         {:.0}% of round-trip time in server spans, telemetry {} bytes)",
+        check.events,
+        check.span("serve.dispatch").count,
+        coverage * 100.0,
+        report.telemetry.len()
+    );
 }
 
 fn main() {
@@ -34,8 +94,15 @@ fn main() {
         serve_load::requests(scale)
     );
     let service = serve_load::build_service(scale);
+    // The collector installs after training: a `--trace` artifact covers
+    // the serve replay itself, not model construction.
+    let tracing = wisedb_bench::trace_collector_from_args();
     eprintln!("loadgen: replaying the trace over loopback TCP...");
     let report = serve_load::run(service, scale);
+    if let Some((collector, path)) = tracing {
+        wisedb_bench::finish_trace(collector, &path);
+        validate_trace(&path, &report);
+    }
 
     let mut table = Table::new(
         "serve decision latency over loopback TCP",

@@ -6,7 +6,9 @@
 //! scheduling throughput, the streaming event loop, the multi-tenant
 //! consolidation loop (3 SLA classes, shared vs isolated fleets), and the
 //! serve layer's wire loop (loopback TCP, exact admit/shed counters plus
-//! round-trip percentiles) — writes
+//! round-trip percentiles) — plus the observability guard (the same
+//! stream run at every tracing level: identical outcomes asserted, trace
+//! shape compared exactly, overhead recorded) — writes
 //! `BENCH_current.json`, and diffs it against the committed
 //! `crates/bench/BENCH_baseline.json` (see [`wisedb_bench::regress`] for
 //! the comparison semantics: counters exact, times informational unless
@@ -338,6 +340,146 @@ fn serve_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+/// The observability guard: the same deterministic in-process stream run
+/// with tracing **off**, **counters-only**, and with **full spans**.
+///
+/// * The three runs' metrics snapshots must be identical (after zeroing
+///   the wall-clock decision-time fields) — the "instrumentation changes
+///   nothing" contract, asserted here on every regress run.
+/// * One clean full-span run's event/span counts are **exact counters**:
+///   the run is virtual-clocked and single-threaded, so an accidental
+///   extra span in a hot loop fails the diff on any machine.
+/// * The timing overheads are **times** (machine-dependent), recorded so
+///   EXPERIMENTS.md's overhead table regenerates from this binary.
+fn obs_overhead(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let training = ModelConfig {
+        num_samples: 60,
+        sample_size: 9,
+        seed: 0xC0FFEE,
+        ..ModelConfig::fast()
+    };
+    let (model, artifacts) = ModelGenerator::new(spec.clone(), goal, training.clone())
+        .train_with_artifacts()
+        .unwrap();
+    let n = if scale == Scale::Quick { 80 } else { 200 };
+    let mut process = PoissonProcess::per_second(2.0, TemplateMix::uniform(spec.num_templates()));
+    let stream = generate_stream(&mut process, n, 42);
+    let bench = format!("obs/{n}");
+
+    let run_once = || {
+        let online = OnlineConfig {
+            training: training.clone(),
+            age_quantum: Millis::from_secs(30),
+            ..OnlineConfig::default()
+        };
+        let scheduler = OnlineScheduler::with_model(model.clone(), artifacts.clone(), online);
+        let mut svc = WorkloadService::with_scheduler(scheduler, RuntimeConfig::default());
+        svc.run_stream(&stream).unwrap().last
+    };
+    // The only non-deterministic snapshot fields are the wall-clock
+    // decision times; everything else must be byte-identical across
+    // tracing levels.
+    let scrub = |mut m: wisedb_core::MetricsSnapshot| {
+        m.mean_decision_secs = 0.0;
+        m.p95_decision_secs = 0.0;
+        m
+    };
+    // One run is ~half a millisecond, so the regular sample count would
+    // leave the overhead deltas at the mercy of scheduler jitter; medians
+    // over a larger pool keep the percentages meaningful.
+    let obs_samples = samples(scale) * 10;
+
+    wisedb_obs::set_level(wisedb_obs::Level::Off);
+    let mut snap_off = None;
+    let t_off = criterion::measure(obs_samples, || {
+        let s = run_once();
+        let c = s.completed;
+        snap_off = Some(s);
+        c
+    });
+
+    wisedb_obs::set_level(wisedb_obs::Level::Counters);
+    let mut snap_counters = None;
+    let t_counters = criterion::measure(obs_samples, || {
+        let s = run_once();
+        let c = s.completed;
+        snap_counters = Some(s);
+        c
+    });
+
+    let timing_collector = wisedb_obs::install(wisedb_obs::Level::Spans);
+    let mut snap_spans = None;
+    let t_spans = criterion::measure(obs_samples, || {
+        let s = run_once();
+        let c = s.completed;
+        snap_spans = Some(s);
+        c
+    });
+    drop(timing_collector.finish());
+
+    let off = scrub(snap_off.unwrap());
+    assert_eq!(
+        off,
+        scrub(snap_counters.unwrap()),
+        "counters-only tracing changed the run's outcome"
+    );
+    assert_eq!(
+        off,
+        scrub(snap_spans.unwrap()),
+        "full-span tracing changed the run's outcome"
+    );
+
+    // One clean instrumented run for the deterministic trace shape.
+    let collector = wisedb_obs::install(wisedb_obs::Level::Spans);
+    run_once();
+    let trace = collector.finish();
+    let events = trace.events.len();
+    let spans = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.phase, wisedb_obs::Phase::Begin))
+        .count();
+
+    let pct = |t: std::time::Duration| (t.as_secs_f64() / t_off.as_secs_f64() - 1.0) * 100.0;
+    out.push(Measurement::new(
+        &bench,
+        "events",
+        events as f64,
+        MetricKind::Counter,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "spans",
+        spans as f64,
+        MetricKind::Counter,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "time_ms",
+        ms(t_off),
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "counters_overhead_pct",
+        pct(t_counters),
+        MetricKind::Time,
+    ));
+    out.push(Measurement::new(
+        &bench,
+        "overhead_pct",
+        pct(t_spans),
+        MetricKind::Time,
+    ));
+    eprintln!(
+        "  {bench}: {events} events / {spans} spans; off {t_off:?}, counters {:+.2}%, spans {:+.2}%",
+        pct(t_counters),
+        pct(t_spans)
+    );
+}
+
 fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
 }
@@ -374,6 +516,9 @@ fn main() {
     streaming_loop(scale, &mut measurements);
     multitenant_loop(scale, &mut measurements);
     serve_loop(scale, &mut measurements);
+    // Last: it flips the global tracing level, and nothing after it may
+    // record under the instrumented levels.
+    obs_overhead(scale, &mut measurements);
     let current = BenchReport {
         scale: scale_name.to_string(),
         measurements,

@@ -67,6 +67,10 @@ fn arms(smoke: bool) -> Vec<Arm> {
 }
 
 fn main() {
+    // `--trace <path>`: record every arm's solve with full spans (one
+    // `search.solve` span per arm, strategy and counters attached) and
+    // write a Chrome trace-event JSON.
+    let tracing = wisedb_bench::trace_collector_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let spec = wisedb::sim::catalog::tpch_like(10);
     let goal = PerformanceGoal::paper_default(GoalKind::Percentile, &spec).unwrap();
@@ -113,6 +117,10 @@ fn main() {
     }
     table.print();
     println!("bound = certified cost/optimal ratio; exact's 4M-budget run reports its own bound");
+
+    if let Some((collector, path)) = tracing {
+        wisedb_bench::finish_trace(collector, &path);
+    }
 
     let s = anytime_smoke.expect("anytime arm always runs");
     let within_budget = s.expanded <= SMOKE_BUDGET as u64;

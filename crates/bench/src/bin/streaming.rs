@@ -13,7 +13,9 @@
 //!   `1 / mean decision time` at the heaviest swept rate.
 //!
 //! `WISEDB_SCALE=quick` runs 500-query streams over two arrival processes;
-//! `std` (default) covers all four at 1000 queries.
+//! `std` (default) covers all four at 1000 queries. `--trace <path>`
+//! records the whole run (training included) with full `wisedb-obs`
+//! spans and writes a Chrome trace-event JSON to `path`.
 
 use wisedb::advisor::{ModelGenerator, OnlineConfig, OnlineScheduler, TrainingArtifacts};
 use wisedb::prelude::*;
@@ -57,6 +59,7 @@ fn secs(m: Millis) -> String {
 }
 
 fn main() {
+    let tracing = wisedb_bench::trace_collector_from_args();
     let scale = Scale::from_env();
     let spec = wisedb::sim::catalog::tpch_like(10);
     let n_queries = match scale {
@@ -222,4 +225,8 @@ fn main() {
         ]);
     }
     table.print();
+
+    if let Some((collector, path)) = tracing {
+        wisedb_bench::finish_trace(collector, &path);
+    }
 }

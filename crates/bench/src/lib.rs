@@ -24,6 +24,7 @@ pub mod multitenant;
 pub mod regress;
 pub mod serve_load;
 pub mod table;
+pub mod trace_check;
 
 pub use table::Table;
 
@@ -129,6 +130,48 @@ pub fn strategy_override() -> Option<wisedb_search::SearchStrategy> {
         });
     let raw = from_cli.or_else(|| std::env::var("WISEDB_STRATEGY").ok())?;
     Some(raw.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
+/// The Chrome-trace output path requested for this bench run, if any:
+/// `--trace <path>` or `--trace=<path>` (mirrors [`strategy_override`]'s
+/// CLI conventions). An absent value aborts — a CI smoke must not
+/// silently run untraced.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--trace requires a path"))
+                .clone()
+        })
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--trace=").map(str::to_string))
+        })
+        .map(std::path::PathBuf::from)
+}
+
+/// If `--trace` was passed, installs a full-span `wisedb-obs` collector
+/// and returns it with the output path. Call [`finish_trace`] when the
+/// measured section is over.
+pub fn trace_collector_from_args() -> Option<(wisedb_obs::Collector, std::path::PathBuf)> {
+    let path = trace_path_from_args()?;
+    Some((wisedb_obs::install(wisedb_obs::Level::Spans), path))
+}
+
+/// Finishes a collector started by [`trace_collector_from_args`], writes
+/// the Chrome trace to its path, and reports the span totals to stderr.
+pub fn finish_trace(collector: wisedb_obs::Collector, path: &std::path::Path) {
+    let trace = collector.finish();
+    let chrome = trace.to_chrome();
+    std::fs::write(path, &chrome).unwrap_or_else(|e| panic!("writing {path:?} failed: {e}"));
+    eprintln!(
+        "trace: {} events -> {} ({} bytes)",
+        trace.events.len(),
+        path.display(),
+        chrome.len()
+    );
 }
 
 /// The expansion-budget override, if any: `WISEDB_NODE_LIMIT` (all

@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use wisedb::prelude::*;
-use wisedb_core::ArrivingQuery;
+use wisedb_core::{ArrivingQuery, LatencyHistogram};
 use wisedb_serve::{Client, ServeConfig, Server};
 
 use crate::Scale;
@@ -51,8 +51,15 @@ pub struct LoadReport {
     pub p95_us: f64,
     /// 99th percentile round trip, in microseconds.
     pub p99_us: f64,
+    /// Summed round-trip time across all requests, in microseconds —
+    /// what the trace's server-side span totals are compared against.
+    pub total_us: u64,
     /// The server's final metrics snapshot, fetched over the wire.
     pub snapshot: MetricsSnapshot,
+    /// The server's observability exposition, fetched over the wire via
+    /// [`Request::Telemetry`](wisedb_serve::Request::Telemetry) right
+    /// before shutdown. With tracing off this is just the header.
+    pub telemetry: String,
 }
 
 impl LoadReport {
@@ -113,43 +120,41 @@ pub fn run(service: WorkloadService, scale: Scale) -> LoadReport {
     let mut client = Client::connect(handle.addr()).expect("loopback connect succeeds");
 
     let stream = trace(scale);
-    let mut latencies_us = Vec::with_capacity(stream.len());
+    // Round trips land in a `LatencyHistogram` whose ticks are
+    // *microseconds* (the `wisedb-obs` registry convention), replacing a
+    // raw sorted Vec — same nearest-rank contract as `percentile_sorted`,
+    // quantized to 1 µs.
+    let mut latencies = LatencyHistogram::new();
     let (mut admitted, mut shed) = (0u64, 0u64);
     for arrival in &stream {
         let started = Instant::now();
         let outcome = client
             .offer(arrival.class, arrival.template, arrival.arrival)
             .expect("offers over loopback succeed");
-        latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+        latencies.push(Millis::from_millis(started.elapsed().as_micros() as u64));
         match outcome {
             wisedb_runtime::OfferOutcome::Admitted => admitted += 1,
             wisedb_runtime::OfferOutcome::Shed => shed += 1,
         }
     }
     let snapshot = client.metrics().expect("metrics over loopback succeed");
+    let telemetry = client
+        .telemetry()
+        .expect("telemetry over loopback succeeds");
     client.shutdown().expect("shutdown over loopback succeeds");
     handle.join();
 
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     LoadReport {
         n: stream.len(),
         admitted,
         shed,
-        p50_us: pctl(&latencies_us, 50.0),
-        p95_us: pctl(&latencies_us, 95.0),
-        p99_us: pctl(&latencies_us, 99.0),
+        p50_us: latencies.percentile(50.0).as_millis() as f64,
+        p95_us: latencies.percentile(95.0).as_millis() as f64,
+        p99_us: latencies.percentile(99.0).as_millis() as f64,
+        total_us: latencies.sum().as_millis(),
         snapshot,
+        telemetry,
     }
-}
-
-/// Nearest-rank percentile over an ascending slice (the same contract as
-/// `wisedb_core`'s `percentile_sorted`, on raw f64 microseconds).
-fn pctl(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let k = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[k.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -157,12 +162,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pctl_matches_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(pctl(&v, 50.0), 2.0);
-        assert_eq!(pctl(&v, 95.0), 4.0);
-        assert_eq!(pctl(&v, 100.0), 4.0);
-        assert_eq!(pctl(&[], 95.0), 0.0);
+    fn histogram_percentiles_match_nearest_rank_microseconds() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 4] {
+            h.push(Millis::from_millis(us));
+        }
+        assert_eq!(h.percentile(50.0).as_millis(), 2);
+        assert_eq!(h.percentile(95.0).as_millis(), 4);
+        assert_eq!(h.percentile(100.0).as_millis(), 4);
+        assert_eq!(LatencyHistogram::new().percentile(95.0), Millis::ZERO);
     }
 
     #[test]

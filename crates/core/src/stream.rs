@@ -217,6 +217,18 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// The ascending `(value, count)` buckets — what an external
+    /// exposition format (e.g. `wisedb-obs`'s Prometheus-style renderer)
+    /// needs to re-serialize the distribution.
+    pub fn buckets(&self) -> impl Iterator<Item = (Millis, u64)> + '_ {
+        self.counts.iter().map(|(&value, &n)| (value, n))
+    }
+
+    /// Sum of all (quantized) observations.
+    pub fn sum(&self) -> Millis {
+        self.sum
+    }
+
     /// The same order statistics [`LatencySummary::of`] would compute from
     /// the full population, without materializing it.
     pub fn summary(&self) -> LatencySummary {

@@ -124,14 +124,21 @@ impl DecisionTree {
     /// Panics if the dataset is empty (there is nothing to learn from).
     pub fn train(dataset: &Dataset, params: &TreeParams) -> DecisionTree {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let mut span = wisedb_obs::span("learn.fit_tree");
         let mut indices: Vec<usize> = (0..dataset.len()).collect();
         let builder = Builder { dataset, params };
         let root = builder.build(&mut indices, 0);
-        DecisionTree {
+        let tree = DecisionTree {
             root,
             num_features: dataset.schema.num_features(),
             num_labels: dataset.schema.num_labels(),
+        };
+        if span.recording() {
+            span.attr_u64("rows", dataset.len() as u64);
+            span.attr_u64("nodes", tree.num_nodes() as u64);
+            span.attr_u64("depth", tree.depth() as u64);
         }
+        tree
     }
 
     /// Predicts the decision label for a feature vector.

@@ -207,7 +207,14 @@ impl WorkloadService {
         model: DecisionModel,
         artifacts: TrainingArtifacts,
     ) -> CoreResult<()> {
-        self.scheduler.swap_model(class, model, artifacts)
+        let result = self.scheduler.swap_model(class, model, artifacts);
+        wisedb_obs::counter_add("wisedb_runtime_model_swaps_total", 1);
+        wisedb_obs::instant("runtime.swap_model")
+            .virt(self.cluster.now())
+            .attr_u64("class", class.index() as u64)
+            .attr_bool("applied", result.is_ok())
+            .emit();
+        result
     }
 
     /// Offers one arrival of the default class at virtual time `at`
@@ -255,6 +262,12 @@ impl WorkloadService {
         if arrivals.is_empty() {
             return Ok(Vec::new());
         }
+        let mut batch_span = wisedb_obs::span("runtime.offer_batch");
+        if batch_span.recording() {
+            batch_span.attr_u64("class", class.index() as u64);
+            batch_span.attr_u64("arrivals", arrivals.len() as u64);
+            batch_span.virt(arrivals[arrivals.len() - 1].1);
+        }
         let sla = self.scheduler.class(class)?;
         for &(template, _) in arrivals {
             if !sla.allows(template) {
@@ -284,9 +297,17 @@ impl WorkloadService {
             if self.config.admission.admits(&status) {
                 admitted.push((template, at));
                 outcomes.push(OfferOutcome::Admitted);
+                wisedb_obs::counter_add("wisedb_runtime_admitted_total", 1);
             } else {
                 self.metrics.reject_as(class);
                 outcomes.push(OfferOutcome::Shed);
+                wisedb_obs::counter_add("wisedb_runtime_shed_total", 1);
+                wisedb_obs::instant("admission.shed")
+                    .virt(at)
+                    .attr_u64("class", class.index() as u64)
+                    .attr_u64("template", template.index() as u64)
+                    .attr_u64("pending", status.pending as u64)
+                    .emit();
             }
         }
         let Some(&(_, planned_at)) = admitted.last() else {
@@ -325,12 +346,23 @@ impl WorkloadService {
         };
 
         let started = Instant::now();
+        let mut plan_span = wisedb_obs::span("runtime.plan");
+        if plan_span.recording() {
+            plan_span.attr_u64("batch", batch.len() as u64);
+            plan_span.attr_u64("recalled", recalled.len() as u64);
+            plan_span.virt(planned_at);
+        }
         let planned = self
             .scheduler
             .plan_arrivals(class, &view, &batch, planned_at);
+        drop(plan_span);
         let plan = match planned {
             Ok(plan) => {
                 self.metrics.decision(started.elapsed().as_secs_f64());
+                wisedb_obs::observe_us(
+                    "wisedb_runtime_decision_us",
+                    started.elapsed().as_micros() as u64,
+                );
                 // A plan the cluster cannot honor (malformed or stale)
                 // must fail this request, not the process: check it in
                 // full before mutating anything.
@@ -453,6 +485,7 @@ impl WorkloadService {
         for completion in self.cluster.advance_to(at) {
             self.metrics
                 .complete(&completion, self.arrival_of[completion.query.index()]);
+            wisedb_obs::counter_add("wisedb_runtime_completions_total", 1);
             self.completions.push(completion);
         }
     }

@@ -470,12 +470,20 @@ impl<'a> Solver<'a> {
     }
 
     /// Runs the configured strategy from `initial`.
+    ///
+    /// This is the one choke point every solve passes through (batch
+    /// scheduling, training samples, online replans), so the per-solve
+    /// observability span lives here: one `search.solve` span carrying
+    /// the full [`SearchStats`] as attributes. The hot expansion loop
+    /// itself is **not** instrumented — with tracing disabled this costs
+    /// one relaxed atomic load per solve.
     pub fn run(
         &self,
         initial: SearchState,
         keep_explored: bool,
     ) -> (SearchOutcome, ExploredStates) {
-        match self.config.strategy {
+        let mut span = wisedb_obs::span("search.solve");
+        let (outcome, explored) = match self.config.strategy {
             SearchStrategy::Exact => self.run_with(&ExactAStar, initial, keep_explored),
             SearchStrategy::Beam { width } => {
                 self.run_with(&BeamSearch { width }, initial, keep_explored)
@@ -485,7 +493,22 @@ impl<'a> Solver<'a> {
                 initial,
                 keep_explored,
             ),
+        };
+        if span.recording() {
+            let s = &outcome.stats;
+            span.attr_str("strategy", self.config.strategy.to_string());
+            span.attr_u64("expanded", s.expanded);
+            span.attr_u64("generated", s.generated);
+            span.attr_u64("interned", s.interned);
+            span.attr_u64("incumbents", s.incumbents);
+            span.attr_u64("pruned", s.pruned);
+            span.attr_f64("bound", s.bound);
+            span.attr_bool("optimal", s.optimal);
+            span.attr_bool("limit_hit", s.limit_hit);
         }
+        wisedb_obs::counter_add("wisedb_search_solves_total", 1);
+        wisedb_obs::counter_add("wisedb_search_expanded_total", outcome.stats.expanded);
+        (outcome, explored)
     }
 
     /// Runs an explicit (possibly external) strategy implementation from

@@ -16,6 +16,7 @@
 //! coalescing policy is unit-tested in isolation.
 
 use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
 
 use wisedb_core::{Millis, TemplateId, TenantId};
 
@@ -38,9 +39,18 @@ pub enum Command {
         at: Millis,
         /// Where the connection worker awaits the answer.
         reply: Sender<Response>,
+        /// Wall-clock enqueue stamp, present only while span tracing is
+        /// on — the scheduler turns it into a `serve.queue_wait` span
+        /// when it picks the offer up.
+        queued: Option<Instant>,
     },
     /// Snapshot the metrics.
     Metrics {
+        /// Where the connection worker awaits the answer.
+        reply: Sender<Response>,
+    },
+    /// Render the observability exposition ([`crate::wire::Request::Telemetry`]).
+    Telemetry {
         /// Where the connection worker awaits the answer.
         reply: Sender<Response>,
     },
@@ -66,6 +76,8 @@ pub struct OfferEntry {
     pub at: Millis,
     /// Where the connection worker awaits the answer.
     pub reply: Sender<Response>,
+    /// Wall-clock enqueue stamp (only while span tracing is on).
+    pub queued: Option<Instant>,
 }
 
 /// What one scheduler wakeup executes: either a coalesced run of offers
@@ -106,11 +118,13 @@ pub fn coalesce(commands: Vec<Command>) -> Vec<Group> {
                 template,
                 at,
                 reply,
+                queued,
             } => {
                 let entry = OfferEntry {
                     template,
                     at,
                     reply,
+                    queued,
                 };
                 match groups.last_mut() {
                     Some(Group::Offers {
@@ -142,6 +156,7 @@ mod tests {
                 template: TemplateId(template),
                 at: Millis::from_secs(at_secs),
                 reply,
+                queued: None,
             },
             rx,
         )

@@ -73,6 +73,15 @@ impl Client {
         }
     }
 
+    /// Fetches the observability exposition: the server's `wisedb-obs`
+    /// metrics registry rendered as Prometheus-style text.
+    pub fn telemetry(&mut self) -> ServeResult<String> {
+        match self.request(&Request::Telemetry)? {
+            Response::Telemetry { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Schedules a background retrain-and-swap of `class`'s model.
     pub fn swap_model(&mut self, class: TenantId, seed: u64) -> ServeResult<()> {
         match self.request(&Request::SwapModel { class, seed })? {

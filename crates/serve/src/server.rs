@@ -35,7 +35,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -202,8 +202,18 @@ fn accept_loop(
     drop(pool);
 }
 
+/// Process-wide connection id sequence: every accepted connection gets a
+/// unique id that tags its observability spans and failure events, so a
+/// trace or event log can be filtered to one client.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
 /// One connection's lifetime: read frames, dispatch, answer — until the
 /// client hangs up, the stream turns untrustworthy, or shutdown.
+///
+/// **No failure on this path is silent**: framing violations, dropped
+/// (truncated/dead) connections, and per-request errors each emit a
+/// `wisedb-obs` event carrying this connection's id before the previous
+/// behavior (answer-and-close, or just close) proceeds unchanged.
 fn handle_connection(
     stream: TcpStream,
     addr: SocketAddr,
@@ -211,6 +221,8 @@ fn handle_connection(
     shutdown: Arc<AtomicBool>,
     poll: Duration,
 ) {
+    let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    wisedb_obs::counter_add("wisedb_serve_connections_total", 1);
     let _ = stream.set_nodelay(true);
     // The read timeout is the shutdown poll tick: an idle connection
     // re-checks the flag instead of pinning its worker forever.
@@ -218,33 +230,64 @@ fn handle_connection(
     let mut stream = stream;
     loop {
         if shutdown.load(Ordering::SeqCst) {
+            // The idle-timeout drop path: the poll tick observed the
+            // shutdown flag between frames.
+            wisedb_obs::instant("serve.connection_drop")
+                .attr_u64("conn", conn)
+                .attr_str("reason", "server shutdown while connection idle")
+                .emit();
             return;
         }
         match read_frame(&mut stream) {
             Ok(FrameRead::Idle) => continue,
             Ok(FrameRead::Eof) => return,
             Ok(FrameRead::Frame(FrameKind::Request, payload)) => {
-                match decode_request(&payload) {
+                let decoded = {
+                    let mut span = wisedb_obs::span("serve.decode");
+                    span.attr_u64("conn", conn);
+                    span.attr_u64("bytes", payload.len() as u64);
+                    decode_request(&payload)
+                };
+                match decoded {
                     Ok(Request::Shutdown) => {
                         // Acknowledge first so the client sees the answer,
                         // then wind the listener down.
-                        let _ = respond(&mut stream, &Response::Ok);
+                        let _ = respond(&mut stream, &Response::Ok, conn);
                         request_shutdown(&shutdown, addr);
                         return;
                     }
                     Ok(request) => {
-                        let response = dispatch(request, &cmd_tx);
-                        if respond(&mut stream, &response).is_err() {
+                        let response = {
+                            let mut span = wisedb_obs::span("serve.dispatch");
+                            span.attr_u64("conn", conn);
+                            dispatch(request, &cmd_tx)
+                        };
+                        // A per-request failure (unknown class, template
+                        // outside the spec, inconsistent plan) answers as
+                        // a typed error frame — and is logged with the
+                        // connection that suffered it.
+                        if let Response::Error { message } = &response {
+                            wisedb_obs::counter_add("wisedb_serve_request_errors_total", 1);
+                            wisedb_obs::instant("serve.request_error")
+                                .attr_u64("conn", conn)
+                                .attr_str("message", message.clone())
+                                .emit();
+                        }
+                        if respond(&mut stream, &response, conn).is_err() {
                             return;
                         }
                     }
                     // Payload-level failure: this request fails, the
                     // connection (and its framing) is still sound.
                     Err(err) => {
-                        let response = Response::Error {
-                            message: err.to_string(),
-                        };
-                        if respond(&mut stream, &response).is_err() {
+                        let message = err.to_string();
+                        wisedb_obs::counter_add("wisedb_serve_request_errors_total", 1);
+                        wisedb_obs::instant("serve.request_error")
+                            .attr_u64("conn", conn)
+                            .attr_str("message", message.clone())
+                            .emit();
+                        let response = Response::Error { message };
+                        if respond(&mut stream, &response, conn).is_err() {
                             return;
                         }
                     }
@@ -252,28 +295,48 @@ fn handle_connection(
             }
             // A client must not send Response frames.
             Ok(FrameRead::Frame(FrameKind::Response, _)) => {
+                emit_framing_violation(conn, "client sent a response frame");
                 let response = Response::Error {
                     message: "protocol violation: client sent a response frame".to_string(),
                 };
-                let _ = respond(&mut stream, &response);
+                let _ = respond(&mut stream, &response, conn);
                 return;
             }
             // Framing violation: answer once, then close — the byte
             // stream can no longer be trusted.
             Err(ServeError::Frame { detail }) => {
+                emit_framing_violation(conn, &detail);
                 let response = Response::Error {
                     message: format!("malformed frame: {detail}"),
                 };
-                let _ = respond(&mut stream, &response);
+                let _ = respond(&mut stream, &response, conn);
                 return;
             }
-            // Truncated frame or dead socket: nothing to answer.
-            Err(_) => return,
+            // Truncated frame or dead socket: nothing to answer — but
+            // the drop is on the record.
+            Err(err) => {
+                wisedb_obs::counter_add("wisedb_serve_connection_drops_total", 1);
+                wisedb_obs::instant("serve.connection_drop")
+                    .attr_u64("conn", conn)
+                    .attr_str("reason", err.to_string())
+                    .emit();
+                return;
+            }
         }
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+fn emit_framing_violation(conn: u64, detail: &str) {
+    wisedb_obs::counter_add("wisedb_serve_framing_violations_total", 1);
+    wisedb_obs::instant("serve.framing_violation")
+        .attr_u64("conn", conn)
+        .attr_str("detail", detail)
+        .emit();
+}
+
+fn respond(stream: &mut TcpStream, response: &Response, conn: u64) -> io::Result<()> {
+    let mut span = wisedb_obs::span("serve.encode");
+    span.attr_u64("conn", conn);
     let payload = encode_response(response).map_err(io::Error::other)?;
     write_frame(stream, FrameKind::Response, &payload)
 }
@@ -291,9 +354,11 @@ fn dispatch(request: Request, cmd_tx: &Sender<Command>) -> Response {
             template,
             at,
             reply,
+            queued: wisedb_obs::now_if_spans(),
         },
         Request::Metrics => Command::Metrics { reply },
         Request::SwapModel { class, seed } => Command::Swap { class, seed, reply },
+        Request::Telemetry => Command::Telemetry { reply },
         // Handled by the connection loop before dispatch.
         Request::Shutdown => return Response::Ok,
     };
@@ -338,8 +403,12 @@ fn scheduler_loop(
             // model; the serving model stays.
             let _ = service.swap_model(swap.class, *swap.model, *swap.artifacts);
         }
+        let mut tick = wisedb_obs::span("serve.tick");
         let backlog = drain(&cmd_rx, first);
-        for group in coalesce(backlog) {
+        tick.attr_u64("drained", backlog.len() as u64);
+        let groups = coalesce(backlog);
+        tick.attr_u64("groups", groups.len() as u64);
+        for group in groups {
             match group {
                 Group::Offers { class, offers } => handle_offers(&mut service, class, offers),
                 Group::Other(command) => handle_command(&mut service, command, &swap_tx),
@@ -355,6 +424,21 @@ fn scheduler_loop(
 /// reply channel. If planning itself fails, the service has rolled the
 /// burst back — the whole group shares that fate.
 fn handle_offers(service: &mut WorkloadService, class: TenantId, offers: Vec<OfferEntry>) {
+    // How long each offer sat on the command queue before this wakeup
+    // picked it up. Stamped at dispatch only while span tracing is on;
+    // rendered as a Chrome `X` (complete) event so the retroactive
+    // timestamps never violate B/E nesting.
+    for offer in &offers {
+        if let Some(queued) = offer.queued {
+            wisedb_obs::observe_us(
+                "wisedb_serve_queue_wait_us",
+                queued.elapsed().as_micros() as u64,
+            );
+            wisedb_obs::complete("serve.queue_wait", queued)
+                .attr_u64("class", class.index() as u64)
+                .emit();
+        }
+    }
     let Some(sla) = service.classes().get(class.index()).cloned() else {
         let message = format!(
             "unknown tenant class {class:?} (service has {} classes)",
@@ -391,7 +475,13 @@ fn handle_offers(service: &mut WorkloadService, class: TenantId, offers: Vec<Off
     }
 
     let batch: Vec<_> = valid.iter().map(|o| (o.template, o.at)).collect();
-    match service.offer_batch_as(class, &batch) {
+    let planned = {
+        let mut span = wisedb_obs::span("serve.plan");
+        span.attr_u64("class", class.index() as u64);
+        span.attr_u64("batch", batch.len() as u64);
+        service.offer_batch_as(class, &batch)
+    };
+    match planned {
         Ok(outcomes) => {
             for (offer, outcome) in valid.into_iter().zip(outcomes) {
                 let response = match outcome {
@@ -418,6 +508,19 @@ fn handle_command(service: &mut WorkloadService, command: Command, swap_tx: &Sen
     match command {
         Command::Metrics { reply } => {
             let _ = reply.send(Response::Metrics(service.snapshot()));
+        }
+        Command::Telemetry { reply } => {
+            // Refresh the live-service gauges right before rendering so
+            // the exposition reflects this instant, not the last event.
+            if wisedb_obs::enabled(wisedb_obs::Level::Counters) {
+                let snapshot = service.snapshot();
+                wisedb_obs::gauge_set("wisedb_virtual_now_ms", snapshot.at.as_millis() as f64);
+                wisedb_obs::gauge_set("wisedb_fleet_vms", snapshot.vms_in_flight as f64);
+                wisedb_obs::gauge_set("wisedb_in_flight_queries", snapshot.in_flight as f64);
+            }
+            let _ = reply.send(Response::Telemetry {
+                text: wisedb_obs::telemetry_text(),
+            });
         }
         Command::Swap { class, seed, reply } => {
             let _ = reply.send(schedule_retrain(service, class, seed, swap_tx));

@@ -39,6 +39,11 @@ pub enum Request {
         /// Sampling seed for the replacement model.
         seed: u64,
     },
+    /// Ask for the observability exposition: the `wisedb-obs` metrics
+    /// registry (counters, gauges, histograms) rendered as a
+    /// Prometheus-style text snapshot, plus live service gauges. Always
+    /// answered; with tracing disabled the payload is just the header.
+    Telemetry,
     /// Stop accepting connections and wind the server down.
     Shutdown,
 }
@@ -54,6 +59,11 @@ pub enum Response {
     Shed,
     /// The requested metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// The observability exposition text (see [`Request::Telemetry`]).
+    Telemetry {
+        /// Prometheus-style text exposition, newline-delimited.
+        text: String,
+    },
     /// The request was accepted (swap scheduled, shutdown begun).
     Ok,
     /// The request failed server-side. The connection stays open unless
@@ -118,6 +128,7 @@ mod tests {
                 class: TenantId(0),
                 seed: 4242,
             },
+            Request::Telemetry,
             Request::Shutdown,
         ];
         for req in &reqs {
@@ -132,6 +143,9 @@ mod tests {
             Response::Admitted,
             Response::Shed,
             Response::Ok,
+            Response::Telemetry {
+                text: "# wisedb-obs exposition\nwisedb_up 1\n".into(),
+            },
             Response::Error {
                 message: "no such class".into(),
             },

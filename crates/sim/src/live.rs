@@ -213,6 +213,13 @@ impl LiveCluster {
             pending: Vec::new(),
             released: false,
         });
+        wisedb_obs::counter_add("wisedb_cluster_vms_provisioned_total", 1);
+        wisedb_obs::instant("cluster.provision")
+            .virt(self.now)
+            .attr_u64("vm_type", vm_type.index() as u64)
+            .attr_u64("class", class.index() as u64)
+            .attr_u64("vm_index", (self.vms.len() - 1) as u64)
+            .emit();
         Ok(self.vms.len() - 1)
     }
 
@@ -303,6 +310,14 @@ impl LiveCluster {
                 }
             }
             vm.pending = kept;
+        }
+        if !out.is_empty() {
+            wisedb_obs::counter_add("wisedb_cluster_recalled_total", out.len() as u64);
+            wisedb_obs::instant("cluster.recall")
+                .virt(self.now)
+                .attr_u64("class", class.index() as u64)
+                .attr_u64("queries", out.len() as u64)
+                .emit();
         }
         out
     }

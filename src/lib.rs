@@ -34,6 +34,10 @@
 //! * [`serve`](wisedb_serve) — the network-facing deployment: the runtime
 //!   loop behind a versioned TCP wire protocol, with request batching,
 //!   graceful shedding, and hot model swaps over the wire.
+//! * [`obs`](wisedb_obs) — the observability layer: near-zero-overhead
+//!   tracing spans and events threaded through every crate above, a
+//!   metrics registry, and Chrome-trace / JSONL / Prometheus-style
+//!   exporters (see ARCHITECTURE.md's span taxonomy).
 //!
 //! ## Building and running
 //!
@@ -112,6 +116,7 @@
 pub use wisedb_advisor as advisor;
 pub use wisedb_core as core;
 pub use wisedb_learn as learn;
+pub use wisedb_obs as obs;
 pub use wisedb_runtime as runtime;
 pub use wisedb_search as search;
 pub use wisedb_serve as serve;

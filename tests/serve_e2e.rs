@@ -211,9 +211,13 @@ fn read_response(stream: &mut TcpStream) -> Response {
 
 /// Invariant 3: malformed bytes, garbage payloads, truncated frames, and
 /// backwards frame kinds each get the documented answer — and none of
-/// them stop the server from serving the next request.
+/// them stop the server from serving the next request. Each of these
+/// failure paths used to be silent on the server side; now every one
+/// must leave a `wisedb-obs` event carrying the connection id.
 #[test]
 fn hostile_byte_streams_never_take_the_server_down() {
+    let _hold = wisedb::obs::testing::hold();
+    let collector = wisedb::obs::install(wisedb::obs::Level::Counters);
     let handle = Server::spawn(quick_service(), ServeConfig::default()).unwrap();
     let addr = handle.addr();
 
@@ -268,14 +272,63 @@ fn hostile_byte_streams_never_take_the_server_down() {
         .unwrap();
     assert_eq!(outcome, OfferOutcome::Admitted);
     client.shutdown().unwrap();
+    // `join` joins the worker pool, so every connection's events have
+    // been emitted by the time the collector drains.
     handle.join();
+
+    let trace = collector.finish();
+    let named = |name: &str| {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .collect::<Vec<_>>()
+    };
+    // (a) bad magic and (b) a backwards frame kind are both framing
+    // violations; (c)'s garbage payload fails only its own request; (d)'s
+    // mid-header hangup surfaces as a connection drop with a reason.
+    let violations = named("serve.framing_violation");
+    assert!(
+        violations.len() >= 2,
+        "expected framing-violation events for (a) and (b), got {}",
+        violations.len()
+    );
+    let errors = named("serve.request_error");
+    assert!(
+        !errors.is_empty(),
+        "the garbage payload must leave a request-error event"
+    );
+    let drops = named("serve.connection_drop");
+    assert!(
+        !drops.is_empty(),
+        "the truncated-header hangup must leave a connection-drop event"
+    );
+    for event in violations.iter().chain(&errors).chain(&drops) {
+        assert!(
+            event.attrs.iter().any(|(k, _)| *k == "conn"),
+            "{} event is missing its connection id: {:?}",
+            event.name,
+            event.attrs
+        );
+    }
+    for event in &drops {
+        assert!(
+            event.attrs.iter().any(|(k, _)| *k == "reason"),
+            "connection drops must say why: {:?}",
+            event.attrs
+        );
+    }
 }
 
 /// Service-level failures (unknown class, template outside the spec or
 /// the class subset, bad swap target) cross the wire as typed `Error`
-/// responses on a connection that stays open — never as a hangup.
+/// responses on a connection that stays open — never as a hangup. Each
+/// also leaves a `serve.request_error` event naming the connection and
+/// carrying the message the client saw.
 #[test]
 fn core_errors_cross_the_wire_as_error_frames() {
+    let _hold = wisedb::obs::testing::hold();
+    let collector = wisedb::obs::install(wisedb::obs::Level::Counters);
     let handle = Server::spawn(quick_service(), ServeConfig::default()).unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -308,4 +361,35 @@ fn core_errors_cross_the_wire_as_error_frames() {
     client.swap_model(TenantId::DEFAULT, 7).unwrap();
     client.shutdown().unwrap();
     handle.join();
+
+    let trace = collector.finish();
+    let errors: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "serve.request_error")
+        .collect();
+    assert!(
+        errors.len() >= 3,
+        "three failed requests must leave three request-error events, got {}",
+        errors.len()
+    );
+    let message_of = |e: &wisedb::obs::Event| {
+        e.attrs.iter().find_map(|(k, v)| match (k, v) {
+            (&"message", wisedb::obs::AttrValue::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+    };
+    for event in &errors {
+        assert!(event.attrs.iter().any(|(k, _)| *k == "conn"));
+        assert!(
+            message_of(event).is_some(),
+            "error events carry the message"
+        );
+    }
+    assert!(
+        errors
+            .iter()
+            .any(|e| message_of(e).is_some_and(|m| m.contains("unknown tenant class"))),
+        "the unknown-class failure must be attributable from the event log"
+    );
 }
