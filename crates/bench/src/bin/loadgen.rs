@@ -17,6 +17,14 @@
 //!   (microseconds), e.g. for saturated CI runners.
 //! * `WISEDB_SKIP_SLO=1` — report only, never fail (the regress harness
 //!   gates times separately).
+//! * `--clients M` / `WISEDB_CLIENTS` — replay over `M` concurrent
+//!   connections (round-robin trace slices). The default `1` is the
+//!   classic sequential replay, and only that mode runs the SLO gate and
+//!   the per-verdict determinism asserts — concurrency reorders
+//!   admission, so only the aggregate counts stay exact.
+//! * `--shards N` / `WISEDB_SERVE_SHARDS` — run the server's scheduler
+//!   with `N` shards (concurrent mode only; `1` keeps the classic
+//!   single-threaded scheduler).
 //! * `--trace <path>` — record the replay with full `wisedb-obs` spans,
 //!   write a Chrome trace-event JSON to `path`, validate it by parsing
 //!   it back (see `wisedb_bench::trace_check`), and require the serve
@@ -30,6 +38,34 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--<flag> <n>` / `--<flag>=<n>`, then the environment variable, then
+/// the default. Invalid values abort — a CI sweep must not silently fall
+/// back.
+fn usize_arg(flag: &str, env: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    let raw = args
+        .iter()
+        .position(|a| *a == long)
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{long} requires a value"))
+                .clone()
+        })
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&prefixed).map(str::to_string))
+        })
+        .or_else(|| std::env::var(env).ok());
+    match raw {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid {long}/{env} value {raw:?}")),
+        None => default,
+    }
 }
 
 /// The `--trace` smoke: the artifact must parse back as well-formed
@@ -89,6 +125,9 @@ fn validate_trace(path: &std::path::Path, report: &serve_load::LoadReport) {
 
 fn main() {
     let scale = Scale::from_env();
+    let clients = usize_arg("clients", "WISEDB_CLIENTS", 1);
+    let shards = usize_arg("shards", "WISEDB_SERVE_SHARDS", 1);
+    let concurrent = clients > 1 || shards > 1;
     eprintln!(
         "loadgen: training the serve scenario service ({} requests)...",
         serve_load::requests(scale)
@@ -97,8 +136,17 @@ fn main() {
     // The collector installs after training: a `--trace` artifact covers
     // the serve replay itself, not model construction.
     let tracing = wisedb_bench::trace_collector_from_args();
-    eprintln!("loadgen: replaying the trace over loopback TCP...");
-    let report = serve_load::run(service, scale);
+    let report = if concurrent {
+        eprintln!(
+            "loadgen: replaying the trace over {clients} loopback connections \
+             ({shards} scheduler shard{})...",
+            if shards == 1 { "" } else { "s" }
+        );
+        serve_load::run_concurrent(service, scale, clients, shards)
+    } else {
+        eprintln!("loadgen: replaying the trace over loopback TCP...");
+        serve_load::run(service, scale)
+    };
     if let Some((collector, path)) = tracing {
         wisedb_bench::finish_trace(collector, &path);
         validate_trace(&path, &report);
@@ -131,16 +179,24 @@ fn main() {
         report.snapshot.admitted, report.snapshot.rejected, report.snapshot.completed
     );
 
-    // The wire and the in-process loop must agree on every verdict.
+    // The wire and the in-process loop must agree on every verdict —
+    // even concurrent replay conserves the totals, since every offer is
+    // answered exactly once.
     assert_eq!(
         report.snapshot.admitted, report.admitted,
-        "server-side admit count must match the client's"
+        "server-side admit count must match the clients'"
     );
     assert_eq!(
         report.snapshot.rejected, report.shed,
-        "server-side shed count must match the client's"
+        "server-side shed count must match the clients'"
     );
 
+    if concurrent {
+        // The SLO is defined for the sequential single-connection replay;
+        // concurrent mode measures contention, it does not gate on it.
+        eprintln!("loadgen: SLO gate skipped (concurrent mode is report-only)");
+        return;
+    }
     if std::env::var("WISEDB_SKIP_SLO").as_deref() == Ok("1") {
         eprintln!("loadgen: SLO gate skipped (WISEDB_SKIP_SLO=1)");
         return;

@@ -1,10 +1,12 @@
 //! Hot-path regression harness.
 //!
-//! Runs the six hot-path benches — the A* kernel (one optimal solve per
+//! Runs the seven hot-path benches — the A* kernel (one optimal solve per
 //! goal kind), the percentile-pathology strategy guard (beam + anytime
 //! under a tight budget, certified-bound counters compared exactly), batch
 //! scheduling throughput, the streaming event loop, the multi-tenant
-//! consolidation loop (3 SLA classes, shared vs isolated fleets), and the
+//! consolidation loop (3 SLA classes, shared vs isolated fleets), the
+//! sharded-scheduler loop (2-shard eager-rebalance replay, exact decision
+//! / merge / rebalance counters plus the 1-shard identity assert), and the
 //! serve layer's wire loop (loopback TCP, exact admit/shed counters plus
 //! round-trip percentiles) — plus the observability guard (the same
 //! stream run at every tracing level: identical outcomes asserted, trace
@@ -308,6 +310,89 @@ fn multitenant_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+/// The sharded-scheduler loop: a 3-class trace replayed through a 2-shard
+/// [`wisedb_runtime::ShardedService`] under an *eager* rebalance
+/// configuration (deterministic batch-size load signal, tight skew
+/// threshold), then through a 1-shard service for the identity check.
+/// Everything here is virtual-clocked and merge-ordered, so the decision,
+/// merge, and rebalance counters — and the final snapshot — are exact on
+/// every machine; a change that perturbs shard planning, the merge order,
+/// or the rebalancer fails the diff.
+fn shard_loop(scale: Scale, out: &mut Vec<Measurement>) {
+    use wisedb_bench::scaling;
+    use wisedb_runtime::{LoadSignal, ShardConfig};
+
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let cfg = scaling::ScalingConfig {
+        classes: 3,
+        queries: if scale == Scale::Quick { 300 } else { 600 },
+        tick_size: 16,
+        shard_counts: vec![1, 2],
+    };
+    let bench = format!("shard/{}x{}", cfg.queries, cfg.classes);
+    let class_set = scaling::classes(&spec, cfg.classes);
+    let trained = scaling::train_models(&spec, &class_set, scale);
+    let stream = scaling::trace(&cfg);
+
+    let eager = ShardConfig {
+        shards: 2,
+        rebalance_every: 4,
+        skew_threshold: 1.05,
+        signal: LoadSignal::BatchSize,
+        ..ShardConfig::default()
+    };
+    let mut sharded = scaling::build_service_with(&class_set, &trained, eager);
+    let started = std::time::Instant::now();
+    let report = sharded
+        .run_ticked(&stream, cfg.tick_size)
+        .expect("the generated trace replays cleanly");
+    let elapsed = started.elapsed();
+    let stats = sharded.stats();
+    let snapshot = scaling::scrub(report.last);
+    let fingerprint = scaling::fingerprint(&report.completions);
+
+    // The 1-shard replay of the same trace must agree bit for bit — the
+    // determinism contract, asserted on every regress run.
+    let mut single = scaling::build_service(&class_set, &trained, 1);
+    let base = single
+        .run_ticked(&stream, cfg.tick_size)
+        .expect("the generated trace replays cleanly");
+    assert_eq!(
+        scaling::scrub(base.last),
+        snapshot,
+        "2-shard eager-rebalance replay diverged from the 1-shard snapshot"
+    );
+    assert_eq!(
+        scaling::fingerprint(&base.completions),
+        fingerprint,
+        "2-shard eager-rebalance replay diverged from the 1-shard completions"
+    );
+
+    for (metric, value, kind) in [
+        ("time_ms", ms(elapsed), MetricKind::Time),
+        ("decisions", stats.decisions as f64, MetricKind::Counter),
+        (
+            "merged_plans",
+            stats.merged_plans as f64,
+            MetricKind::Counter,
+        ),
+        ("epochs", stats.epochs as f64, MetricKind::Counter),
+        ("rebalances", stats.rebalances as f64, MetricKind::Counter),
+        ("completed", snapshot.completed as f64, MetricKind::Counter),
+        (
+            "vms_provisioned",
+            snapshot.vms_provisioned as f64,
+            MetricKind::Counter,
+        ),
+    ] {
+        out.push(Measurement::new(&bench, metric, value, kind));
+    }
+    eprintln!(
+        "  {bench}: {elapsed:?} ({} decisions, {} merges, {} rebalances, {} completed)",
+        stats.decisions, stats.merged_plans, stats.rebalances, snapshot.completed
+    );
+}
+
 /// The serve layer over loopback: a seeded hot trace replayed through one
 /// wire connection (see [`wisedb_bench::serve_load`]). The sequential
 /// replay keeps admission deterministic, so `admitted`/`shed`/`shed_rate`
@@ -515,6 +600,7 @@ fn main() {
     batch_throughput(scale, &mut measurements);
     streaming_loop(scale, &mut measurements);
     multitenant_loop(scale, &mut measurements);
+    shard_loop(scale, &mut measurements);
     serve_loop(scale, &mut measurements);
     // Last: it flips the global tracing level, and nothing after it may
     // record under the instrumented levels.

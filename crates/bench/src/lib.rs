@@ -22,6 +22,7 @@ use wisedb_core::{GoalKind, Money, PerformanceGoal, WorkloadSpec};
 
 pub mod multitenant;
 pub mod regress;
+pub mod scaling;
 pub mod serve_load;
 pub mod table;
 pub mod trace_check;

@@ -157,6 +157,94 @@ pub fn run(service: WorkloadService, scale: Scale) -> LoadReport {
     }
 }
 
+/// Replays the trace over `clients` concurrent connections against a
+/// server with `shards` scheduler shards. The trace is dealt round-robin,
+/// so each client's slice keeps non-decreasing virtual arrival times; the
+/// live cluster clamps stale instants (`advance_to` never rewinds), so
+/// cross-client interleaving is safe — but it *does* change the admission
+/// order, so per-verdict counts are only deterministic in aggregate:
+/// every offer gets exactly one verdict, hence the server's
+/// `admitted`/`rejected` totals still equal the clients' sums exactly.
+/// Each client runs lockstep (offer, await, next), so at most `clients`
+/// offers ever wait on the scheduler — far inside the default
+/// `queue_depth`, meaning no queue sheds pollute the counters.
+pub fn run_concurrent(
+    service: WorkloadService,
+    scale: Scale,
+    clients: usize,
+    shards: usize,
+) -> LoadReport {
+    let clients = clients.max(1);
+    let config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(service, config).expect("loopback bind succeeds");
+    let addr = handle.addr();
+
+    let stream = trace(scale);
+    let slices: Vec<Vec<ArrivingQuery>> = (0..clients)
+        .map(|c| stream.iter().skip(c).step_by(clients).cloned().collect())
+        .collect();
+    let outcomes: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+        slices
+            .into_iter()
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loopback connect succeeds");
+                    let (mut admitted, mut shed) = (0u64, 0u64);
+                    let mut micros = Vec::with_capacity(slice.len());
+                    for arrival in &slice {
+                        let started = Instant::now();
+                        let outcome = client
+                            .offer(arrival.class, arrival.template, arrival.arrival)
+                            .expect("offers over loopback succeed");
+                        micros.push(started.elapsed().as_micros() as u64);
+                        match outcome {
+                            wisedb_runtime::OfferOutcome::Admitted => admitted += 1,
+                            wisedb_runtime::OfferOutcome::Shed => shed += 1,
+                        }
+                    }
+                    (admitted, shed, micros)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client threads do not panic"))
+            .collect()
+    });
+
+    let mut latencies = LatencyHistogram::new();
+    let (mut admitted, mut shed) = (0u64, 0u64);
+    for (a, s, micros) in outcomes {
+        admitted += a;
+        shed += s;
+        for us in micros {
+            latencies.push(Millis::from_millis(us));
+        }
+    }
+
+    let mut control = Client::connect(addr).expect("loopback connect succeeds");
+    let snapshot = control.metrics().expect("metrics over loopback succeed");
+    let telemetry = control
+        .telemetry()
+        .expect("telemetry over loopback succeeds");
+    control.shutdown().expect("shutdown over loopback succeeds");
+    handle.join();
+
+    LoadReport {
+        n: stream.len(),
+        admitted,
+        shed,
+        p50_us: latencies.percentile(50.0).as_millis() as f64,
+        p95_us: latencies.percentile(95.0).as_millis() as f64,
+        p99_us: latencies.percentile(99.0).as_millis() as f64,
+        total_us: latencies.sum().as_millis(),
+        snapshot,
+        telemetry,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

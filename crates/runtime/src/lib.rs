@@ -26,6 +26,13 @@
 //!   `OnlineConfig` selects (`OnlineConfig::with_strategy`): exact A* by
 //!   default, or bounded-suboptimality beam/anytime replanning under the
 //!   per-arrival expansion budget.
+//! * [`shard`] — [`ShardedService`], the N-way tenant-partitioned form of
+//!   the service: classes fan out to persistent shard worker threads that
+//!   plan in parallel against an epoch-snapshot cluster view, and a serial
+//!   tick-order merge keeps billing, completions, and metrics
+//!   bit-identical to the unsharded service for any shard count. A greedy
+//!   EMA-driven rebalancer moves hot classes between shards under
+//!   [`ShardConfig`].
 //!
 //! ## Quickstart
 //!
@@ -67,6 +74,7 @@ pub mod admission;
 pub mod arrivals;
 pub mod metrics;
 pub mod service;
+pub mod shard;
 
 pub use admission::{AdmissionPolicy, LoadStatus};
 pub use arrivals::{
@@ -75,6 +83,7 @@ pub use arrivals::{
 };
 pub use metrics::MetricsCollector;
 pub use service::{OfferOutcome, RuntimeConfig, StreamReport, WorkloadService};
+pub use shard::{LoadSignal, ShardConfig, ShardLaneStats, ShardStats, ShardedService, TickGroup};
 
 /// One-stop imports for driving the streaming runtime.
 pub mod prelude {
@@ -85,5 +94,6 @@ pub mod prelude {
     };
     pub use crate::metrics::MetricsCollector;
     pub use crate::service::{OfferOutcome, RuntimeConfig, StreamReport, WorkloadService};
+    pub use crate::shard::{LoadSignal, ShardConfig, ShardStats, ShardedService};
     pub use wisedb_core::{ClassMetrics, LatencySummary, MetricsSnapshot, SlaClass, TenantId};
 }

@@ -101,15 +101,30 @@ pub struct StreamReport {
 /// scheduling one or more tenant SLA classes onto one shared fleet.
 pub struct WorkloadService {
     scheduler: MultiScheduler,
-    cluster: LiveCluster,
-    metrics: MetricsCollector,
-    config: RuntimeConfig,
+    core: ServiceCore,
+}
+
+/// Everything of the service *except* the planner: the live cluster, the
+/// metrics collector, and the arrival/completion ledgers, plus the staged
+/// offer pipeline (admit → prepare → validate → apply → rollback) those
+/// books drive.
+///
+/// [`WorkloadService`] and the sharded service
+/// ([`ShardedService`](crate::ShardedService)) both own exactly one
+/// `ServiceCore` and differ only in *who* runs `plan_arrivals` between
+/// the stages — one `MultiScheduler` inline, or per-class schedulers on
+/// worker threads. Keeping every stage here is what makes the 1-shard
+/// case bit-identical to the unsharded service: both walk the same code.
+pub(crate) struct ServiceCore {
+    pub(crate) cluster: LiveCluster,
+    pub(crate) metrics: MetricsCollector,
+    pub(crate) config: RuntimeConfig,
     /// Original arrival time per admitted query, indexed by [`QueryId`].
     /// (The query's SLA class needs no sibling table: it rides the cluster
     /// queue entries into each [`Completion`].)
-    arrival_of: Vec<Millis>,
+    pub(crate) arrival_of: Vec<Millis>,
     /// Completions observed so far (completion order).
-    completions: Vec<Completion>,
+    pub(crate) completions: Vec<Completion>,
 }
 
 impl WorkloadService {
@@ -156,17 +171,26 @@ impl WorkloadService {
         let classes = scheduler.classes().to_vec();
         WorkloadService {
             scheduler,
-            cluster: LiveCluster::new(spec, config.cluster.clone()),
-            metrics: MetricsCollector::with_classes(classes),
-            config,
-            arrival_of: Vec::new(),
-            completions: Vec::new(),
+            core: ServiceCore::new(spec, classes, config),
         }
+    }
+
+    /// Splits the service into its planner and its books — the seam the
+    /// sharded service is built on.
+    pub(crate) fn into_parts(self) -> (MultiScheduler, ServiceCore) {
+        (self.scheduler, self.core)
+    }
+
+    /// Reassembles a service from parts (the inverse of
+    /// [`into_parts`](Self::into_parts): same scheduler, same books, no
+    /// state reset).
+    pub(crate) fn from_parts(scheduler: MultiScheduler, core: ServiceCore) -> Self {
+        WorkloadService { scheduler, core }
     }
 
     /// The workload specification in force.
     pub fn spec(&self) -> &WorkloadSpec {
-        self.cluster.spec()
+        self.core.cluster.spec()
     }
 
     /// The configured SLA classes, indexed by [`TenantId`].
@@ -181,17 +205,17 @@ impl WorkloadService {
 
     /// The current virtual time.
     pub fn now(&self) -> Millis {
-        self.cluster.now()
+        self.core.cluster.now()
     }
 
     /// The configuration the service was opened with.
     pub fn config(&self) -> &RuntimeConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The live cluster session (fleet state, running bill).
     pub fn cluster(&self) -> &LiveCluster {
-        &self.cluster
+        &self.core.cluster
     }
 
     /// Hot-swaps one class's decision model — the background-retraining
@@ -210,7 +234,7 @@ impl WorkloadService {
         let result = self.scheduler.swap_model(class, model, artifacts);
         wisedb_obs::counter_add("wisedb_runtime_model_swaps_total", 1);
         wisedb_obs::instant("runtime.swap_model")
-            .virt(self.cluster.now())
+            .virt(self.core.cluster.now())
             .attr_u64("class", class.index() as u64)
             .attr_bool("applied", result.is_ok())
             .emit();
@@ -276,23 +300,197 @@ impl WorkloadService {
         }
         let priority = sla.priority;
 
-        // Admission, one arrival at a time: the virtual clock advances to
-        // each instant, and newcomers already admitted from this burst are
-        // folded into the pending/in-flight signals (they are not yet
-        // queued on the cluster, but they are committed to be).
+        let WorkloadService { scheduler, core } = self;
+        offer_batch_with(core, class, priority, arrivals, |view, batch, at| {
+            scheduler.plan_arrivals(class, view, batch, at)
+        })
+    }
+
+    /// Checks a plan against the live cluster before applying it; see
+    /// [`ServiceCore::validate_plan`].
+    #[cfg(test)]
+    fn validate_plan(&self, plan: &ArrivalPlan, target_type: Option<VmTypeId>) -> CoreResult<()> {
+        self.core.validate_plan(plan, target_type)
+    }
+
+    /// Runs everything still queued to completion.
+    pub fn drain(&mut self) {
+        self.core.drain();
+    }
+
+    /// A metrics snapshot at the current virtual instant, with per-class
+    /// rows carrying the cluster's dollar attribution.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Completions observed so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.core.completions
+    }
+
+    /// Replays an explicit arrival stream (possibly multi-class — each
+    /// arrival's tag routes it) through the loop, then drains.
+    pub fn run_stream(&mut self, stream: &[ArrivingQuery]) -> CoreResult<StreamReport> {
+        let mut snapshots = Vec::new();
+        for (i, arrival) in stream.iter().enumerate() {
+            self.offer_as(arrival.template, arrival.class, arrival.arrival)?;
+            let every = self.core.config.snapshot_every;
+            if every > 0 && (i + 1) % every == 0 {
+                snapshots.push(self.snapshot());
+            }
+        }
+        self.drain();
+        Ok(StreamReport {
+            snapshots,
+            last: self.snapshot(),
+            completions: self.core.completions.clone(),
+        })
+    }
+
+    /// Draws `n` arrivals from `process` (seeded by the config, tagged
+    /// with the default class) and runs them through the loop, then
+    /// drains.
+    pub fn run_process(
+        &mut self,
+        process: &mut dyn ArrivalProcess,
+        n: usize,
+    ) -> CoreResult<StreamReport> {
+        let mut rng = StdRng::seed_from_u64(self.core.config.seed);
+        let mut snapshots = Vec::new();
+        let mut now = self.core.cluster.now();
+        for i in 0..n {
+            let (gap, template) = process.next(now, &mut rng);
+            now += gap;
+            self.offer(template, now)?;
+            let every = self.core.config.snapshot_every;
+            if every > 0 && (i + 1) % every == 0 {
+                snapshots.push(self.snapshot());
+            }
+        }
+        self.drain();
+        Ok(StreamReport {
+            snapshots,
+            last: self.snapshot(),
+            completions: self.core.completions.clone(),
+        })
+    }
+}
+
+/// The single-burst offer pipeline with the planner abstracted out:
+/// admit each arrival (advancing the clock), assign ids and recall the
+/// class's unstarted work, build the live [`ClusterView`], call
+/// `plan_fn` on the batch, then validate + apply the plan (or roll the
+/// recall back on failure).
+///
+/// [`WorkloadService::offer_batch_as`] passes its `MultiScheduler` as
+/// `plan_fn`; the sharded service's single-group path passes the class's
+/// own scheduler. Both therefore run *this exact code* stage for stage —
+/// which is the mechanism behind the 1-shard bit-identity guarantee, not
+/// just an argument about equivalent implementations.
+pub(crate) fn offer_batch_with(
+    core: &mut ServiceCore,
+    class: TenantId,
+    priority: u8,
+    arrivals: &[(TemplateId, Millis)],
+    plan_fn: impl FnOnce(&ClusterView, &[PendingArrival], Millis) -> CoreResult<ArrivalPlan>,
+) -> CoreResult<Vec<OfferOutcome>> {
+    let (outcomes, admitted) = core.admit_burst(class, priority, arrivals, 0, 0);
+    let Some(&(_, planned_at)) = admitted.last() else {
+        return Ok(outcomes);
+    };
+    let (first_id, batch, recalled) = core.prepare_batch(class, &admitted);
+
+    let open = core.cluster.open_vm();
+    // Assignments before the first provision step go to the open VM.
+    let target = open.as_ref().map(|(index, _)| *index);
+    let target_type = open.as_ref().map(|(_, view)| view.vm_type);
+    let view = ClusterView {
+        vms_rented: core.cluster.vms_provisioned() as u32,
+        open_vm: open.map(|(_, view)| view),
+    };
+
+    let started = Instant::now();
+    let mut plan_span = wisedb_obs::span("runtime.plan");
+    if plan_span.recording() {
+        plan_span.attr_u64("batch", batch.len() as u64);
+        plan_span.attr_u64("recalled", recalled.len() as u64);
+        plan_span.virt(planned_at);
+    }
+    let planned = plan_fn(&view, &batch, planned_at);
+    drop(plan_span);
+    let plan = match planned {
+        Ok(plan) => {
+            core.metrics.decision(started.elapsed().as_secs_f64());
+            wisedb_obs::observe_us(
+                "wisedb_runtime_decision_us",
+                started.elapsed().as_micros() as u64,
+            );
+            // A plan the cluster cannot honor (malformed or stale) must
+            // fail this request, not the process: check it in full before
+            // mutating anything.
+            match core.validate_plan(&plan, target_type) {
+                Ok(()) => plan,
+                Err(err) => return core.rollback_offer(recalled, first_id, admitted.len(), err),
+            }
+        }
+        // Planning failed (e.g. a retrain hit its search limits).
+        Err(err) => return core.rollback_offer(recalled, first_id, admitted.len(), err),
+    };
+    core.apply_plan(class, plan, target, admitted.len())?;
+    Ok(outcomes)
+}
+
+impl ServiceCore {
+    /// Opens the books: a fresh cluster session over `spec` and a metrics
+    /// collector with one row per class.
+    pub(crate) fn new(spec: SpecHandle, classes: Vec<SlaClass>, config: RuntimeConfig) -> Self {
+        ServiceCore {
+            cluster: LiveCluster::new(spec, config.cluster.clone()),
+            metrics: MetricsCollector::with_classes(classes),
+            config,
+            arrival_of: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Admission for one same-class burst, one arrival at a time: the
+    /// virtual clock advances to each instant, and newcomers already
+    /// admitted from this burst are folded into the pending/in-flight
+    /// signals (they are not yet queued on the cluster, but they are
+    /// committed to be).
+    ///
+    /// `carried` / `carried_class` extend that fold to newcomers admitted
+    /// by *earlier groups of the same scheduling tick* (total and
+    /// same-class respectively) — the sharded tick admits several groups
+    /// before any of them is planned, and each must see its predecessors'
+    /// commitments exactly like a later arrival of one serial burst would.
+    /// Both are `0` on the unsharded path, which makes this the original
+    /// single-burst admission loop verbatim.
+    ///
+    /// Returns the per-arrival outcomes plus the admitted `(template, at)`
+    /// pairs; rejections are recorded against `class` as they happen.
+    pub(crate) fn admit_burst(
+        &mut self,
+        class: TenantId,
+        priority: u8,
+        arrivals: &[(TemplateId, Millis)],
+        carried: usize,
+        carried_class: usize,
+    ) -> (Vec<OfferOutcome>, Vec<(TemplateId, Millis)>) {
         let mut outcomes = Vec::with_capacity(arrivals.len());
         let mut admitted: Vec<(TemplateId, Millis)> = Vec::new();
         for &(template, at) in arrivals {
             self.step_to(at);
+            let committed = admitted.len() + carried;
             let status = LoadStatus {
                 now: at,
-                pending: self.cluster.pending() + admitted.len(),
-                in_flight: self.metrics.admitted() - self.metrics.completed()
-                    + admitted.len() as u64,
+                pending: self.cluster.pending() + committed,
+                in_flight: self.metrics.admitted() - self.metrics.completed() + committed as u64,
                 vms_in_flight: self.cluster.vms_in_flight(),
                 class,
                 priority,
-                class_pending: self.cluster.pending_of(class) + admitted.len(),
+                class_pending: self.cluster.pending_of(class) + admitted.len() + carried_class,
             };
             if self.config.admission.admits(&status) {
                 admitted.push((template, at));
@@ -310,13 +508,20 @@ impl WorkloadService {
                     .emit();
             }
         }
-        let Some(&(_, planned_at)) = admitted.last() else {
-            return Ok(outcomes);
-        };
+        (outcomes, admitted)
+    }
 
-        // The batch: every admitted newcomer plus every *same-class* query
-        // recalled unstarted. Other classes' queued placements stay put —
-        // their own next arrival may replan them.
+    /// Builds the planning batch for one admitted group: assigns stream
+    /// ids to the newcomers (recording their arrival times) and recalls
+    /// every *same-class* query queued unstarted. Other classes' queued
+    /// placements stay put — their own next arrival may replan them.
+    /// Returns `(first_id, batch, recalled)`; the recalled list is what a
+    /// failed plan must restore.
+    pub(crate) fn prepare_batch(
+        &mut self,
+        class: TenantId,
+        admitted: &[(TemplateId, Millis)],
+    ) -> (usize, Vec<PendingArrival>, Vec<RecalledQuery>) {
         let first_id = self.arrival_of.len();
         let mut batch: Vec<PendingArrival> = Vec::with_capacity(admitted.len());
         for (i, &(template, at)) in admitted.iter().enumerate() {
@@ -335,76 +540,7 @@ impl WorkloadService {
                 arrival: self.arrival_of[r.query.index()],
             });
         }
-
-        let open = self.cluster.open_vm();
-        // Assignments before the first provision step go to the open VM.
-        let mut target = open.as_ref().map(|(index, _)| *index);
-        let target_type = open.as_ref().map(|(_, view)| view.vm_type);
-        let view = ClusterView {
-            vms_rented: self.cluster.vms_provisioned() as u32,
-            open_vm: open.map(|(_, view)| view),
-        };
-
-        let started = Instant::now();
-        let mut plan_span = wisedb_obs::span("runtime.plan");
-        if plan_span.recording() {
-            plan_span.attr_u64("batch", batch.len() as u64);
-            plan_span.attr_u64("recalled", recalled.len() as u64);
-            plan_span.virt(planned_at);
-        }
-        let planned = self
-            .scheduler
-            .plan_arrivals(class, &view, &batch, planned_at);
-        drop(plan_span);
-        let plan = match planned {
-            Ok(plan) => {
-                self.metrics.decision(started.elapsed().as_secs_f64());
-                wisedb_obs::observe_us(
-                    "wisedb_runtime_decision_us",
-                    started.elapsed().as_micros() as u64,
-                );
-                // A plan the cluster cannot honor (malformed or stale)
-                // must fail this request, not the process: check it in
-                // full before mutating anything.
-                match self.validate_plan(&plan, target_type) {
-                    Ok(()) => plan,
-                    Err(err) => return self.rollback_offer(recalled, first_id, err),
-                }
-            }
-            // Planning failed (e.g. a retrain hit its search limits).
-            Err(err) => return self.rollback_offer(recalled, first_id, err),
-        };
-        for _ in 0..admitted.len() {
-            self.metrics.admit_as(class);
-        }
-        for step in plan.steps {
-            match step {
-                PlannedStep::Provision(vm_type) => {
-                    // validate_plan checked the type against the spec; a
-                    // failure here still answers with a typed error.
-                    let index = self.cluster.provision_as(vm_type, class).map_err(|e| {
-                        CoreError::InconsistentPlan {
-                            detail: format!("provisioning planned {vm_type} failed: {e}"),
-                        }
-                    })?;
-                    target = Some(index);
-                }
-                PlannedStep::Assign { query, template } => {
-                    // validate_plan proved a target exists and supports the
-                    // template, and no time passes mid-dispatch, so the
-                    // target VM cannot have been released.
-                    let vm = target.ok_or_else(|| CoreError::InconsistentPlan {
-                        detail: format!("plan places {query:?} before renting any VM"),
-                    })?;
-                    self.cluster
-                        .enqueue_as(vm, query, template, class)
-                        .map_err(|e| CoreError::InconsistentPlan {
-                            detail: format!("queueing planned {query:?} on VM {vm} failed: {e}"),
-                        })?;
-                }
-            }
-        }
-        Ok(outcomes)
+        (first_id, batch, recalled)
     }
 
     /// Checks a plan's steps against the live cluster **before** any of
@@ -414,7 +550,7 @@ impl WorkloadService {
     /// A malformed or stale plan is rejected as a typed
     /// [`CoreError::InconsistentPlan`] while the service state is still
     /// untouched (and therefore restorable).
-    fn validate_plan(
+    pub(crate) fn validate_plan(
         &self,
         plan: &ArrivalPlan,
         mut target_type: Option<VmTypeId>,
@@ -450,16 +586,70 @@ impl WorkloadService {
         Ok(())
     }
 
+    /// Dispatches a validated plan onto the cluster, crediting `admitted`
+    /// admissions to `class` first. `target` is the VM assignments before
+    /// the plan's first provision step go to — the open VM of the view the
+    /// plan was made against (the live one, or the tick snapshot's).
+    ///
+    /// Callers must have run [`validate_plan`](Self::validate_plan); a
+    /// failure mid-application still answers with a typed error, but the
+    /// already-applied prefix stands (no time passes mid-dispatch, so
+    /// validated steps cannot actually fail).
+    pub(crate) fn apply_plan(
+        &mut self,
+        class: TenantId,
+        plan: ArrivalPlan,
+        mut target: Option<usize>,
+        admitted: usize,
+    ) -> CoreResult<()> {
+        for _ in 0..admitted {
+            self.metrics.admit_as(class);
+        }
+        for step in plan.steps {
+            match step {
+                PlannedStep::Provision(vm_type) => {
+                    // validate_plan checked the type against the spec; a
+                    // failure here still answers with a typed error.
+                    let index = self.cluster.provision_as(vm_type, class).map_err(|e| {
+                        CoreError::InconsistentPlan {
+                            detail: format!("provisioning planned {vm_type} failed: {e}"),
+                        }
+                    })?;
+                    target = Some(index);
+                }
+                PlannedStep::Assign { query, template } => {
+                    // validate_plan proved a target exists and supports the
+                    // template, and no time passes mid-dispatch, so the
+                    // target VM cannot have been released.
+                    let vm = target.ok_or_else(|| CoreError::InconsistentPlan {
+                        detail: format!("plan places {query:?} before renting any VM"),
+                    })?;
+                    self.cluster
+                        .enqueue_as(vm, query, template, class)
+                        .map_err(|e| CoreError::InconsistentPlan {
+                            detail: format!("queueing planned {query:?} on VM {vm} failed: {e}"),
+                        })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Unwinds a failed planning attempt: recalled queries go back to
-    /// their previous VMs and the burst's newcomers are dropped, so the
+    /// their previous VMs and the group's newcomers are dropped, so the
     /// service stays coherent for callers that handle the error and
-    /// continue. Always returns `Err` — either the original error, or a
+    /// continue. The newcomers' ids are reclaimed when they sit at the
+    /// tail of the ledger (always true for a lone burst; in a multi-group
+    /// tick only the last group's are — earlier groups leave a gap of
+    /// never-queued ids, which nothing ever completes). Always returns
+    /// `Err` — either the original error, or a
     /// [`CoreError::InconsistentPlan`] if even the restore failed (a
     /// cluster-state inconsistency the caller must know about).
-    fn rollback_offer<T>(
+    pub(crate) fn rollback_offer<T>(
         &mut self,
         recalled: Vec<RecalledQuery>,
         first_id: usize,
+        count: usize,
         err: CoreError,
     ) -> CoreResult<T> {
         let mut restore_failure = None;
@@ -476,12 +666,14 @@ impl WorkloadService {
                 });
             }
         }
-        self.arrival_of.truncate(first_id);
+        if self.arrival_of.len() == first_id + count {
+            self.arrival_of.truncate(first_id);
+        }
         Err(restore_failure.unwrap_or(err))
     }
 
     /// Advances the virtual clock, harvesting completions into the metrics.
-    fn step_to(&mut self, at: Millis) {
+    pub(crate) fn step_to(&mut self, at: Millis) {
         for completion in self.cluster.advance_to(at) {
             self.metrics
                 .complete(&completion, self.arrival_of[completion.query.index()]);
@@ -491,7 +683,7 @@ impl WorkloadService {
     }
 
     /// Runs everything still queued to completion.
-    pub fn drain(&mut self) {
+    pub(crate) fn drain(&mut self) {
         for completion in self.cluster.drain() {
             self.metrics
                 .complete(&completion, self.arrival_of[completion.query.index()]);
@@ -501,7 +693,7 @@ impl WorkloadService {
 
     /// A metrics snapshot at the current virtual instant, with per-class
     /// rows carrying the cluster's dollar attribution.
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot_with_billing(
             self.cluster.now(),
             self.cluster.billed(),
@@ -509,56 +701,6 @@ impl WorkloadService {
             self.cluster.vms_in_flight(),
             self.cluster.vms_provisioned(),
         )
-    }
-
-    /// Completions observed so far, in completion order.
-    pub fn completions(&self) -> &[Completion] {
-        &self.completions
-    }
-
-    /// Replays an explicit arrival stream (possibly multi-class — each
-    /// arrival's tag routes it) through the loop, then drains.
-    pub fn run_stream(&mut self, stream: &[ArrivingQuery]) -> CoreResult<StreamReport> {
-        let mut snapshots = Vec::new();
-        for (i, arrival) in stream.iter().enumerate() {
-            self.offer_as(arrival.template, arrival.class, arrival.arrival)?;
-            if self.config.snapshot_every > 0 && (i + 1) % self.config.snapshot_every == 0 {
-                snapshots.push(self.snapshot());
-            }
-        }
-        self.drain();
-        Ok(StreamReport {
-            snapshots,
-            last: self.snapshot(),
-            completions: self.completions.clone(),
-        })
-    }
-
-    /// Draws `n` arrivals from `process` (seeded by the config, tagged
-    /// with the default class) and runs them through the loop, then
-    /// drains.
-    pub fn run_process(
-        &mut self,
-        process: &mut dyn ArrivalProcess,
-        n: usize,
-    ) -> CoreResult<StreamReport> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut snapshots = Vec::new();
-        let mut now = self.cluster.now();
-        for i in 0..n {
-            let (gap, template) = process.next(now, &mut rng);
-            now += gap;
-            self.offer(template, now)?;
-            if self.config.snapshot_every > 0 && (i + 1) % self.config.snapshot_every == 0 {
-                snapshots.push(self.snapshot());
-            }
-        }
-        self.drain();
-        Ok(StreamReport {
-            snapshots,
-            last: self.snapshot(),
-            completions: self.completions.clone(),
-        })
     }
 }
 

@@ -107,6 +107,58 @@ pub fn drain(rx: &Receiver<Command>, first: Command) -> Vec<Command> {
     commands
 }
 
+/// What one *sharded* scheduler wakeup executes: every offer between
+/// non-offer commands folds into one scheduling tick (grouped per class),
+/// so a multi-tenant backlog becomes one parallel `offer_tick` fan-out
+/// instead of one plan call per class run.
+pub enum Work {
+    /// All offers up to the next non-offer command, grouped by class in
+    /// first-appearance order. Within a class, queue order is preserved.
+    Tick(Vec<(TenantId, Vec<OfferEntry>)>),
+    /// Any other command, executed on its own.
+    Other(Command),
+}
+
+/// The sharded counterpart of [`coalesce`]: adjacent offers merge into
+/// one tick *across* class changes (per-class groups in first-appearance
+/// order), and non-offer commands still act as barriers. The relative
+/// order of same-class offers is preserved exactly; cross-class order
+/// within one tick is resolved by the sharded service's admit phase,
+/// which walks groups in this first-appearance order.
+pub fn coalesce_tick(commands: Vec<Command>) -> Vec<Work> {
+    let mut work: Vec<Work> = Vec::new();
+    for cmd in commands {
+        match cmd {
+            Command::Offer {
+                class,
+                template,
+                at,
+                reply,
+                queued,
+            } => {
+                let entry = OfferEntry {
+                    template,
+                    at,
+                    reply,
+                    queued,
+                };
+                if !matches!(work.last(), Some(Work::Tick(_))) {
+                    work.push(Work::Tick(Vec::new()));
+                }
+                let Some(Work::Tick(groups)) = work.last_mut() else {
+                    unreachable!("a tick was just pushed");
+                };
+                match groups.iter_mut().find(|(c, _)| *c == class) {
+                    Some((_, entries)) => entries.push(entry),
+                    None => groups.push((class, vec![entry])),
+                }
+            }
+            other => work.push(Work::Other(other)),
+        }
+    }
+    work
+}
+
 /// Groups consecutive same-class offers; everything else passes through
 /// in place. Queue order is preserved exactly.
 pub fn coalesce(commands: Vec<Command>) -> Vec<Group> {
@@ -201,6 +253,46 @@ mod tests {
             })
             .collect();
         assert_eq!(sizes, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn tick_coalescing_merges_across_class_changes_with_barriers() {
+        let (metrics_reply, _keep) = channel();
+        let cmds = vec![
+            offer(0, 0, 1).0,
+            offer(1, 0, 2).0, // class change: same tick, new group
+            offer(0, 1, 3).0, // back to class 0: appended to its group
+            Command::Metrics {
+                reply: metrics_reply,
+            }, // barrier
+            offer(1, 0, 4).0, // a fresh tick after the barrier
+        ];
+        let work = coalesce_tick(cmds);
+        assert_eq!(work.len(), 3);
+        match &work[0] {
+            Work::Tick(groups) => {
+                // First-appearance class order; same-class queue order kept.
+                assert_eq!(groups.len(), 2);
+                assert_eq!(groups[0].0, TenantId(0));
+                let ats: Vec<u64> = groups[0]
+                    .1
+                    .iter()
+                    .map(|o| o.at.as_millis() / 1000)
+                    .collect();
+                assert_eq!(ats, vec![1, 3]);
+                assert_eq!(groups[1].0, TenantId(1));
+                assert_eq!(groups[1].1.len(), 1);
+            }
+            Work::Other(_) => panic!("expected the merged tick first"),
+        }
+        assert!(matches!(&work[1], Work::Other(Command::Metrics { .. })));
+        match &work[2] {
+            Work::Tick(groups) => {
+                assert_eq!(groups.len(), 1);
+                assert_eq!(groups[0].0, TenantId(1));
+            }
+            Work::Other(_) => panic!("expected a second tick after the barrier"),
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -44,9 +44,9 @@ use std::time::Duration;
 use threadpool::ThreadPool;
 use wisedb_advisor::{DecisionModel, ModelGenerator, TrainingArtifacts};
 use wisedb_core::TenantId;
-use wisedb_runtime::{OfferOutcome, WorkloadService};
+use wisedb_runtime::{OfferOutcome, ShardConfig, ShardedService, WorkloadService};
 
-use crate::batch::{coalesce, drain, Command, Group, OfferEntry};
+use crate::batch::{coalesce, coalesce_tick, drain, Command, Group, OfferEntry, Work};
 use crate::error::ServeError;
 use crate::frame::{read_frame, write_frame, FrameKind, FrameRead};
 use crate::wire::{decode_request, encode_response, Request, Response};
@@ -63,6 +63,20 @@ pub struct ServeConfig {
     /// Read-timeout tick on accepted connections: how often an idle
     /// worker re-checks the shutdown flag.
     pub poll_interval: Duration,
+    /// Scheduler shards. `1` (the default) keeps the classic
+    /// single-threaded [`WorkloadService`] scheduler; `> 1` runs a
+    /// [`ShardedService`] whose wakeups coalesce the whole multi-class
+    /// backlog into one scheduling tick and plan its class groups in
+    /// parallel on shard worker threads. Outputs are bit-identical either
+    /// way (see `wisedb_runtime::shard`).
+    pub shards: usize,
+    /// Command-queue depth for offers (`0` = unbounded). When more than
+    /// this many offers are already waiting on the scheduler, new ones
+    /// are answered immediately with a typed [`Response::Shed`] frame
+    /// instead of piling up — overload sheds load, it never grows the
+    /// queue without bound. Control commands (metrics, telemetry, swap,
+    /// shutdown) always bypass the gate.
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,7 +85,57 @@ impl Default for ServeConfig {
             bind: "127.0.0.1:0".to_string(),
             workers: 4,
             poll_interval: Duration::from_millis(50),
+            shards: 1,
+            queue_depth: 1024,
         }
+    }
+}
+
+/// The offer-queue depth gate: a shared counter of offers sitting on the
+/// scheduler's command queue. Connection workers [`try_push`] before
+/// enqueueing an offer and answer `Shed` on overflow; the scheduler
+/// [`release`]s what each wakeup drained. Lock-free and advisory — a
+/// racing pair of workers may land `depth + workers` entries at worst,
+/// which is exactly the slack a bounded channel's senders would have.
+///
+/// [`try_push`]: QueueGate::try_push
+/// [`release`]: QueueGate::release
+pub(crate) struct QueueGate {
+    depth: usize,
+    queued: AtomicUsize,
+}
+
+impl QueueGate {
+    pub(crate) fn new(depth: usize) -> Self {
+        QueueGate {
+            depth,
+            queued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims one queue slot; `false` means the queue is full and the
+    /// offer must be shed. A zero depth never sheds.
+    pub(crate) fn try_push(&self) -> bool {
+        if self.depth == 0 {
+            return true;
+        }
+        self.queued
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.depth).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Returns `n` drained offers' slots to the gate.
+    pub(crate) fn release(&self, n: usize) {
+        if self.depth != 0 && n != 0 {
+            self.queued.fetch_sub(n, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn queued(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
     }
 }
 
@@ -87,15 +151,24 @@ impl Server {
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(QueueGate::new(config.queue_depth));
         let (cmd_tx, cmd_rx) = channel::<Command>();
         // Finished retrains ride a channel of their own: if they shared
         // the command queue, the scheduler would hold a sender to itself
         // and recv() could never disconnect at shutdown.
         let (swap_tx, swap_rx) = channel::<FinishedSwap>();
 
-        let scheduler = thread::Builder::new()
-            .name("wisedb-scheduler".to_string())
-            .spawn(move || scheduler_loop(service, cmd_rx, swap_rx, swap_tx))?;
+        let engine = if config.shards > 1 {
+            Engine::Sharded(service.into_sharded(ShardConfig::with_shards(config.shards)))
+        } else {
+            Engine::Single(service)
+        };
+        let scheduler = {
+            let gate = Arc::clone(&gate);
+            thread::Builder::new()
+                .name("wisedb-scheduler".to_string())
+                .spawn(move || scheduler_loop(engine, cmd_rx, swap_rx, swap_tx, gate))?
+        };
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
@@ -103,7 +176,7 @@ impl Server {
             let config = config.clone();
             thread::Builder::new()
                 .name("wisedb-accept".to_string())
-                .spawn(move || accept_loop(listener, addr, cmd_tx, shutdown, config))?
+                .spawn(move || accept_loop(listener, addr, cmd_tx, shutdown, config, gate))?
         };
 
         Ok(ServerHandle {
@@ -175,6 +248,7 @@ fn accept_loop(
     cmd_tx: Sender<Command>,
     shutdown: Arc<AtomicBool>,
     config: ServeConfig,
+    gate: Arc<QueueGate>,
 ) {
     let pool = ThreadPool::new(config.workers.max(1));
     loop {
@@ -186,7 +260,8 @@ fn accept_loop(
                 let cmd_tx = cmd_tx.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let poll = config.poll_interval;
-                pool.execute(move || handle_connection(stream, addr, cmd_tx, shutdown, poll));
+                let gate = Arc::clone(&gate);
+                pool.execute(move || handle_connection(stream, addr, cmd_tx, shutdown, poll, gate));
             }
             Err(_) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -220,6 +295,7 @@ fn handle_connection(
     cmd_tx: Sender<Command>,
     shutdown: Arc<AtomicBool>,
     poll: Duration,
+    gate: Arc<QueueGate>,
 ) {
     let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
     wisedb_obs::counter_add("wisedb_serve_connections_total", 1);
@@ -260,7 +336,7 @@ fn handle_connection(
                         let response = {
                             let mut span = wisedb_obs::span("serve.dispatch");
                             span.attr_u64("conn", conn);
-                            dispatch(request, &cmd_tx)
+                            dispatch(request, &cmd_tx, &gate)
                         };
                         // A per-request failure (unknown class, template
                         // outside the spec, inconsistent plan) answers as
@@ -342,20 +418,33 @@ fn respond(stream: &mut TcpStream, response: &Response, conn: u64) -> io::Result
 }
 
 /// Ships a request to the scheduler thread and waits for its answer.
-fn dispatch(request: Request, cmd_tx: &Sender<Command>) -> Response {
+/// Offers pass the queue-depth gate first: a full scheduler queue answers
+/// [`Response::Shed`] right here, without touching the scheduler — the
+/// overload signal a client sees is the same typed frame admission
+/// control uses, so backpressure needs no new wire vocabulary.
+fn dispatch(request: Request, cmd_tx: &Sender<Command>, gate: &QueueGate) -> Response {
     let (reply, reply_rx) = channel();
     let command = match request {
         Request::Offer {
             class,
             template,
             at,
-        } => Command::Offer {
-            class,
-            template,
-            at,
-            reply,
-            queued: wisedb_obs::now_if_spans(),
-        },
+        } => {
+            if !gate.try_push() {
+                wisedb_obs::counter_add("wisedb_serve_queue_shed_total", 1);
+                wisedb_obs::instant("serve.queue_shed")
+                    .attr_u64("class", class.index() as u64)
+                    .emit();
+                return Response::Shed;
+            }
+            Command::Offer {
+                class,
+                template,
+                at,
+                reply,
+                queued: wisedb_obs::now_if_spans(),
+            }
+        }
         Request::Metrics => Command::Metrics { reply },
         Request::SwapModel { class, seed } => Command::Swap { class, seed, reply },
         Request::Telemetry => Command::Telemetry { reply },
@@ -385,37 +474,118 @@ struct FinishedSwap {
     artifacts: Box<TrainingArtifacts>,
 }
 
+/// What the scheduler thread runs: the classic single-threaded service,
+/// or its tenant-partitioned form. The engine choice changes *where*
+/// plans are computed (inline vs. shard workers) and how a backlog
+/// coalesces (per-class runs vs. one multi-class tick) — never the
+/// outputs, which are bit-identical by the sharded service's design.
+enum Engine {
+    /// One `MultiScheduler`, planning inline ([`ServeConfig::shards`]
+    /// `<= 1`).
+    Single(WorkloadService),
+    /// N shard workers planning in parallel against epoch snapshots.
+    Sharded(ShardedService),
+}
+
+impl Engine {
+    fn classes(&self) -> &[wisedb_core::SlaClass] {
+        match self {
+            Engine::Single(s) => s.classes(),
+            Engine::Sharded(s) => s.classes(),
+        }
+    }
+
+    fn snapshot(&self) -> wisedb_core::MetricsSnapshot {
+        match self {
+            Engine::Single(s) => s.snapshot(),
+            Engine::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    fn swap_model(
+        &mut self,
+        class: TenantId,
+        model: DecisionModel,
+        artifacts: TrainingArtifacts,
+    ) -> wisedb_core::CoreResult<()> {
+        match self {
+            Engine::Single(s) => s.swap_model(class, model, artifacts),
+            Engine::Sharded(s) => s.swap_model(class, model, artifacts),
+        }
+    }
+
+    fn into_service(self) -> WorkloadService {
+        match self {
+            Engine::Single(s) => s,
+            Engine::Sharded(s) => s.into_service(),
+        }
+    }
+}
+
 /// The single thread that owns the service. Each wakeup applies any
 /// finished model swaps (so the next arrival plans on the new model),
 /// then drains the backlog, coalesces it, and executes group by group.
 /// It exits (handing the service back) when every command sender is
 /// gone — the swap channel is only ever `try_recv`'d, so holding its
 /// sender here cannot wedge shutdown.
+///
+/// A [`Engine::Single`] wakeup coalesces consecutive same-class offers
+/// and plans them inline; a [`Engine::Sharded`] wakeup folds the whole
+/// drained backlog (up to the next control command) into one scheduling
+/// tick whose class groups plan in parallel on the shard workers. Either
+/// way, every drained offer's gate slot is released before the wakeup
+/// plans, so admission verdicts — not queue slots — are what throttles a
+/// steady overload.
 fn scheduler_loop(
-    mut service: WorkloadService,
+    mut engine: Engine,
     cmd_rx: Receiver<Command>,
     swap_rx: Receiver<FinishedSwap>,
     swap_tx: Sender<FinishedSwap>,
+    gate: Arc<QueueGate>,
 ) -> WorkloadService {
     while let Ok(first) = cmd_rx.recv() {
         while let Ok(swap) = swap_rx.try_recv() {
             // A failed apply (model/goal mismatch) drops the retrained
             // model; the serving model stays.
-            let _ = service.swap_model(swap.class, *swap.model, *swap.artifacts);
+            let _ = engine.swap_model(swap.class, *swap.model, *swap.artifacts);
         }
         let mut tick = wisedb_obs::span("serve.tick");
         let backlog = drain(&cmd_rx, first);
         tick.attr_u64("drained", backlog.len() as u64);
-        let groups = coalesce(backlog);
-        tick.attr_u64("groups", groups.len() as u64);
-        for group in groups {
-            match group {
-                Group::Offers { class, offers } => handle_offers(&mut service, class, offers),
-                Group::Other(command) => handle_command(&mut service, command, &swap_tx),
+        let offers_drained = backlog
+            .iter()
+            .filter(|c| matches!(c, Command::Offer { .. }))
+            .count();
+        gate.release(offers_drained);
+        if matches!(engine, Engine::Sharded(_)) {
+            let work = coalesce_tick(backlog);
+            tick.attr_u64("groups", work.len() as u64);
+            for item in work {
+                match item {
+                    Work::Tick(groups) => {
+                        if let Engine::Sharded(service) = &mut engine {
+                            handle_tick(service, groups);
+                        }
+                    }
+                    Work::Other(command) => handle_command(&mut engine, command, &swap_tx),
+                }
+            }
+        } else {
+            let groups = coalesce(backlog);
+            tick.attr_u64("groups", groups.len() as u64);
+            for group in groups {
+                match group {
+                    Group::Offers { class, offers } => {
+                        if let Engine::Single(service) = &mut engine {
+                            handle_offers(service, class, offers);
+                        }
+                    }
+                    Group::Other(command) => handle_command(&mut engine, command, &swap_tx),
+                }
             }
         }
     }
-    service
+    engine.into_service()
 }
 
 /// One coalesced burst: pre-validate each offer individually (a bad
@@ -504,16 +674,127 @@ fn handle_offers(service: &mut WorkloadService, class: TenantId, offers: Vec<Off
     }
 }
 
-fn handle_command(service: &mut WorkloadService, command: Command, swap_tx: &Sender<FinishedSwap>) {
+/// One sharded scheduling tick: the wakeup's whole multi-class backlog,
+/// pre-validated per offer exactly like [`handle_offers`] (a bad request
+/// must not fail its batch neighbors), then planned in parallel with a
+/// single [`ShardedService::offer_tick`] fan-out. Per-group failures
+/// answer that group's offers with the typed error; the other groups'
+/// verdicts stand — mirroring how one class's failed burst never touched
+/// another class's on the unsharded path.
+fn handle_tick(service: &mut ShardedService, tick: Vec<(TenantId, Vec<OfferEntry>)>) {
+    let num_templates = service.spec().num_templates();
+    let mut valid: Vec<(TenantId, Vec<OfferEntry>)> = Vec::with_capacity(tick.len());
+    for (class, offers) in tick {
+        for offer in &offers {
+            if let Some(queued) = offer.queued {
+                wisedb_obs::observe_us(
+                    "wisedb_serve_queue_wait_us",
+                    queued.elapsed().as_micros() as u64,
+                );
+                wisedb_obs::complete("serve.queue_wait", queued)
+                    .attr_u64("class", class.index() as u64)
+                    .emit();
+            }
+        }
+        let Some(sla) = service.classes().get(class.index()).cloned() else {
+            let message = format!(
+                "unknown tenant class {class:?} (service has {} classes)",
+                service.classes().len()
+            );
+            for offer in offers {
+                let _ = offer.reply.send(Response::Error {
+                    message: message.clone(),
+                });
+            }
+            continue;
+        };
+        let mut entries: Vec<OfferEntry> = Vec::with_capacity(offers.len());
+        for offer in offers {
+            if offer.template.index() >= num_templates {
+                let _ = offer.reply.send(Response::Error {
+                    message: format!(
+                        "{} is outside the spec ({num_templates} templates)",
+                        offer.template
+                    ),
+                });
+            } else if !sla.allows(offer.template) {
+                let _ = offer.reply.send(Response::Error {
+                    message: format!("{} is not in class {:?}'s subset", offer.template, class),
+                });
+            } else {
+                entries.push(offer);
+            }
+        }
+        if !entries.is_empty() {
+            valid.push((class, entries));
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    let groups: Vec<_> = valid
+        .iter()
+        .map(|(class, entries)| (*class, entries.iter().map(|e| (e.template, e.at)).collect()))
+        .collect();
+    let planned = {
+        let mut span = wisedb_obs::span("serve.plan");
+        span.attr_u64("groups", groups.len() as u64);
+        span.attr_u64(
+            "batch",
+            valid.iter().map(|(_, e)| e.len() as u64).sum::<u64>(),
+        );
+        service.offer_tick(&groups)
+    };
+    match planned {
+        Ok(results) => {
+            for ((_, entries), result) in valid.into_iter().zip(results) {
+                match result {
+                    Ok(outcomes) => {
+                        for (offer, outcome) in entries.into_iter().zip(outcomes) {
+                            let response = match outcome {
+                                OfferOutcome::Admitted => Response::Admitted,
+                                OfferOutcome::Shed => Response::Shed,
+                            };
+                            let _ = offer.reply.send(response);
+                        }
+                    }
+                    Err(err) => {
+                        let message = err.to_string();
+                        for offer in entries {
+                            let _ = offer.reply.send(Response::Error {
+                                message: message.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Infrastructure failure (a dead shard worker): every offer of
+        // the tick fails with the same typed reason.
+        Err(err) => {
+            let message = err.to_string();
+            for (_, entries) in valid {
+                for offer in entries {
+                    let _ = offer.reply.send(Response::Error {
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn handle_command(engine: &mut Engine, command: Command, swap_tx: &Sender<FinishedSwap>) {
     match command {
         Command::Metrics { reply } => {
-            let _ = reply.send(Response::Metrics(service.snapshot()));
+            let _ = reply.send(Response::Metrics(engine.snapshot()));
         }
         Command::Telemetry { reply } => {
             // Refresh the live-service gauges right before rendering so
             // the exposition reflects this instant, not the last event.
             if wisedb_obs::enabled(wisedb_obs::Level::Counters) {
-                let snapshot = service.snapshot();
+                let snapshot = engine.snapshot();
                 wisedb_obs::gauge_set("wisedb_virtual_now_ms", snapshot.at.as_millis() as f64);
                 wisedb_obs::gauge_set("wisedb_fleet_vms", snapshot.vms_in_flight as f64);
                 wisedb_obs::gauge_set("wisedb_in_flight_queries", snapshot.in_flight as f64);
@@ -523,7 +804,7 @@ fn handle_command(service: &mut WorkloadService, command: Command, swap_tx: &Sen
             });
         }
         Command::Swap { class, seed, reply } => {
-            let _ = reply.send(schedule_retrain(service, class, seed, swap_tx));
+            let _ = reply.send(schedule_retrain(engine, class, seed, swap_tx));
         }
         // Offers are grouped before they get here.
         Command::Offer { reply, .. } => {
@@ -539,12 +820,16 @@ fn handle_command(service: &mut WorkloadService, command: Command, swap_tx: &Sen
 /// scheduler thread applies it between wakeups. Training artifacts never
 /// cross the wire — they are rebuilt here, server-side.
 fn schedule_retrain(
-    service: &WorkloadService,
+    engine: &Engine,
     class: TenantId,
     seed: u64,
     swap_tx: &Sender<FinishedSwap>,
 ) -> Response {
-    let scheduler = match service.scheduler(class) {
+    let scheduler = match engine {
+        Engine::Single(s) => s.scheduler(class),
+        Engine::Sharded(s) => s.scheduler(class),
+    };
+    let scheduler = match scheduler {
         Ok(s) => s,
         Err(err) => {
             return Response::Error {
@@ -553,8 +838,15 @@ fn schedule_retrain(
         }
     };
     let spec = scheduler.base_model().spec_handle().clone();
-    let goal = service.classes()[class.index()].goal.clone();
-    let training = service.config().online.training.clone().with_seed(seed);
+    let goal = engine.classes()[class.index()].goal.clone();
+    let training = match engine {
+        Engine::Single(s) => s.config(),
+        Engine::Sharded(s) => s.config(),
+    }
+    .online
+    .training
+    .clone()
+    .with_seed(seed);
     let swap_tx = swap_tx.clone();
     let spawned = thread::Builder::new()
         .name(format!("wisedb-trainer-{}", class.index()))
@@ -574,5 +866,56 @@ fn schedule_retrain(
         Err(err) => Response::Error {
             message: format!("could not start trainer thread: {err}"),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_gate_sheds_exactly_past_its_depth_and_recovers_on_release() {
+        let gate = QueueGate::new(3);
+        assert!(gate.try_push());
+        assert!(gate.try_push());
+        assert!(gate.try_push());
+        assert!(!gate.try_push(), "the fourth offer overflows depth 3");
+        assert_eq!(gate.queued(), 3);
+        gate.release(2);
+        assert!(gate.try_push());
+        assert!(gate.try_push());
+        assert!(!gate.try_push());
+        // Releasing everything drained restores the full budget.
+        gate.release(3);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn zero_depth_gate_never_sheds() {
+        let gate = QueueGate::new(0);
+        for _ in 0..10_000 {
+            assert!(gate.try_push());
+        }
+        gate.release(10_000);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn queue_gate_is_exact_under_contention() {
+        let gate = Arc::new(QueueGate::new(64));
+        let admitted: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || (0..100).filter(|_| gate.try_push()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Claims are atomic: exactly `depth` of the 400 racing pushes win.
+        assert_eq!(admitted.iter().sum::<usize>(), 64);
+        assert_eq!(gate.queued(), 64);
     }
 }
