@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use wisedb_core::{
-    CoreResult, GoalHandle, PerformanceGoal, Schedule, SpecHandle, TemplateId, Workload,
+    CoreResult, GoalHandle, GoalKind, PerformanceGoal, Schedule, SpecHandle, TemplateId, Workload,
     WorkloadSpec,
 };
 use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
@@ -42,6 +42,17 @@ pub struct ModelConfig {
     /// fields default to the exact strategy.
     #[serde(default)]
     pub search: SearchConfig,
+    /// Pick the per-sample solver by goal kind: percentile goals — whose
+    /// exact searches blow any practical node budget (the state space
+    /// distinguishes every completion multiset) — train with the
+    /// certified-bound `anytime` strategy instead of exact A*, at the same
+    /// node budget. Only applies while [`search`](ModelConfig::search)
+    /// still holds the default exact strategy; an explicit
+    /// [`with_strategy`](ModelConfig::with_strategy) choice always wins.
+    /// Serde-defaults to `false`, so persisted legacy configurations keep
+    /// deserializing to plain exact training.
+    #[serde(default)]
+    pub goal_aware_strategy: bool,
     /// Worker threads for the per-sample A* solves, which are
     /// embarrassingly parallel. `0` means one per available CPU core; `1`
     /// forces the serial path. Results are merged in sample order, so the
@@ -60,6 +71,7 @@ impl ModelConfig {
             seed: 0x5EED_0001,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            goal_aware_strategy: true,
             threads: 0,
         }
     }
@@ -74,6 +86,7 @@ impl ModelConfig {
             seed: 0x5EED_0002,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            goal_aware_strategy: true,
             threads: 0,
         }
     }
@@ -92,10 +105,28 @@ impl ModelConfig {
     }
 
     /// Overrides the per-sample solver strategy (see
-    /// [`search`](ModelConfig::search)).
+    /// [`search`](ModelConfig::search)). An explicit choice disables the
+    /// [`goal_aware_strategy`](ModelConfig::goal_aware_strategy) default.
     pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
         self.search.strategy = strategy;
+        self.goal_aware_strategy = false;
         self
+    }
+
+    /// The search configuration the training solves for `goal` actually
+    /// use: the configured one, except that with
+    /// [`goal_aware_strategy`](ModelConfig::goal_aware_strategy) set and
+    /// the strategy still at its exact default, percentile goals swap in
+    /// the anytime strategy (same node budget, certified bound).
+    pub fn search_for(&self, goal: &PerformanceGoal) -> SearchConfig {
+        let mut search = self.search.clone();
+        if self.goal_aware_strategy
+            && search.strategy == SearchStrategy::Exact
+            && goal.kind() == GoalKind::Percentile
+        {
+            search.strategy = SearchStrategy::anytime();
+        }
+        search
     }
 }
 
@@ -350,6 +381,7 @@ impl ModelGenerator {
             self.config.threads
         };
         let threads = requested.clamp(1, samples.len().max(1));
+        let search = self.config.search_for(goal);
 
         let solve_chunk = |ws: &[Workload],
                            ss: &mut [AdaptiveSearcher]|
@@ -361,8 +393,7 @@ impl ModelGenerator {
                 // collector through the global sender, and the merge
                 // below stays in sample order regardless.
                 let mut sample_span = wisedb_obs::span("train.sample");
-                let solved =
-                    searcher.solve(&self.spec, goal, workload, self.config.search.clone())?;
+                let solved = searcher.solve(&self.spec, goal, workload, search.clone())?;
                 if sample_span.recording() {
                     sample_span.attr_u64("queries", workload.len() as u64);
                     sample_span.attr_u64("expanded", solved.stats.expanded);
@@ -458,6 +489,7 @@ mod tests {
             seed: 7,
             tree: TreeParams::default(),
             search: SearchConfig::default(),
+            goal_aware_strategy: true,
             threads: 0,
         }
     }
@@ -611,6 +643,36 @@ mod tests {
         let legacy: ModelConfig =
             serde_json::from_str(&json.replace("\"search\"", "\"search_unused\"")).unwrap();
         assert_eq!(legacy.search, SearchConfig::default());
+        // Legacy payloads without `goal_aware_strategy` default to plain
+        // exact training for every goal kind.
+        let legacy: ModelConfig =
+            serde_json::from_str(&json.replace("\"goal_aware_strategy\"", "\"goal_aware_unused\""))
+                .unwrap();
+        assert!(!legacy.goal_aware_strategy);
+    }
+
+    #[test]
+    fn goal_aware_default_trains_percentile_with_anytime() {
+        let spec = small_spec();
+        let config = ModelConfig::fast();
+        assert!(config.goal_aware_strategy);
+        let percentile = PerformanceGoal::paper_default(GoalKind::Percentile, &spec).unwrap();
+        let max_latency = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+        // Percentile training swaps in anytime (same node budget)...
+        let resolved = config.search_for(&percentile);
+        assert_eq!(resolved.strategy, SearchStrategy::anytime());
+        assert_eq!(resolved.node_limit, config.search.node_limit);
+        // ...monotone goals keep exact...
+        assert_eq!(
+            config.search_for(&max_latency).strategy,
+            SearchStrategy::Exact
+        );
+        // ...and an explicit strategy choice always wins.
+        let explicit = config.with_strategy(SearchStrategy::Beam { width: 8 });
+        assert_eq!(
+            explicit.search_for(&percentile).strategy,
+            SearchStrategy::Beam { width: 8 }
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Hot-path regression harness.
 //!
-//! Runs the seven hot-path benches — the A* kernel (one optimal solve per
-//! goal kind), the percentile-pathology strategy guard (beam + anytime
-//! under a tight budget, certified-bound counters compared exactly), batch
+//! Runs the hot-path benches — the A* kernel (one optimal solve per
+//! goal kind), the PEA* kernel (same instances, partial-expansion
+//! counters exact), the percentile bound-tightness guard (budgeted exact
+//! solve, certified bound exact), the percentile-pathology strategy guard
+//! (beam + anytime under a tight budget, certified-bound counters
+//! compared exactly), batch
 //! scheduling throughput, the streaming event loop, the multi-tenant
 //! consolidation loop (3 SLA classes, shared vs isolated fleets), the
 //! sharded-scheduler loop (2-shard eager-rebalance replay, exact decision
@@ -102,6 +105,91 @@ fn astar_kernel(scale: Scale, out: &mut Vec<Measurement>) {
         ));
         eprintln!("  {bench}: {median:?} ({} expanded)", stats.expanded);
     }
+}
+
+/// Partial-expansion A* on the same instances as [`astar_kernel`]: one
+/// optimal solve per goal kind, with the PEA*-specific counters
+/// (`reexpansions`, `deferred`) compared exactly. Guards both the
+/// strategy's exactness (`bound_pct` must stay 0 wherever the solve
+/// completes) and its successor appetite.
+fn pea_kernel(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    for kind in GoalKind::ALL {
+        let goal = PerformanceGoal::paper_default(kind, &spec).unwrap();
+        let workload = wisedb::sim::generator::uniform_workload(&spec, astar_size(scale, kind), 7);
+        let bench = format!("pea/{}", kind.name());
+        let mut stats = None;
+        let median = criterion::measure(samples(scale), || {
+            let result = Solver::new(&spec, &goal)
+                .with_strategy(SearchStrategy::Pea)
+                .solve(&workload)
+                .unwrap();
+            stats = Some(result.stats);
+            result.cost
+        });
+        let stats = stats.unwrap();
+        out.push(Measurement::new(
+            &bench,
+            "time_ms",
+            ms(median),
+            MetricKind::Time,
+        ));
+        for (metric, value) in [
+            ("expanded", stats.expanded as f64),
+            ("generated", stats.generated as f64),
+            ("reexpansions", stats.reexpansions as f64),
+            ("deferred", stats.deferred as f64),
+            ("bound_pct", (stats.bound - 1.0) * 100.0),
+        ] {
+            out.push(Measurement::new(&bench, metric, value, MetricKind::Counter));
+        }
+        eprintln!(
+            "  {bench}: {median:?} ({} expanded, {} reexpansions, {} deferred)",
+            stats.expanded, stats.reexpansions, stats.deferred
+        );
+    }
+}
+
+/// The queue-wait-aware percentile bound guard: a budgeted exact solve of
+/// a percentile instance one notch past the kernel size. If the bound
+/// loosens, the search either expands more vertices before finishing or
+/// stops certifying `bound_pct = 0` under the budget — either way an
+/// exact counter trips.
+fn bound_tight(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::Percentile, &spec).unwrap();
+    let queries = astar_size(scale, GoalKind::Percentile) + 2;
+    let budget = 30_000usize;
+    let workload = wisedb::sim::generator::uniform_workload(&spec, queries, 7);
+    let bench = format!("bound_tight/{queries}q");
+    let started = std::time::Instant::now();
+    let result = Solver::new(&spec, &goal)
+        .with_config(SearchConfig {
+            node_limit: budget,
+            ..SearchConfig::default()
+        })
+        .solve(&workload)
+        .unwrap();
+    let elapsed = started.elapsed();
+    let stats = result.stats;
+    out.push(Measurement::new(
+        &bench,
+        "time_ms",
+        ms(elapsed),
+        MetricKind::Time,
+    ));
+    for (metric, value) in [
+        ("expanded", stats.expanded as f64),
+        ("generated", stats.generated as f64),
+        ("reexpansions", stats.reexpansions as f64),
+        ("bound_pct", (stats.bound - 1.0) * 100.0),
+    ] {
+        out.push(Measurement::new(&bench, metric, value, MetricKind::Counter));
+    }
+    eprintln!(
+        "  {bench}: {elapsed:?} ({} expanded, bound {:.4})",
+        stats.expanded, stats.bound
+    );
 }
 
 fn batch_throughput(scale: Scale, out: &mut Vec<Measurement>) {
@@ -596,6 +684,8 @@ fn main() {
 
     let mut measurements = Vec::new();
     astar_kernel(scale, &mut measurements);
+    pea_kernel(scale, &mut measurements);
+    bound_tight(scale, &mut measurements);
     strategy_pathology(scale, &mut measurements);
     batch_throughput(scale, &mut measurements);
     streaming_loop(scale, &mut measurements);

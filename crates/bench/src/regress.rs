@@ -27,16 +27,65 @@ pub enum MetricKind {
 }
 
 /// One recorded metric of one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Benchmark name, e.g. `astar_kernel/Max`.
     pub bench: String,
     /// Metric name, e.g. `time_ms` or `expanded`.
     pub metric: String,
-    /// The measured value.
+    /// The measured value. [`f64::INFINITY`] means "unset" (e.g. a
+    /// suboptimality bound a strategy could not establish) and round-trips
+    /// through JSON as `null`.
     pub value: f64,
     /// How the value is compared across runs.
     pub kind: MetricKind,
+}
+
+// Hand-written serde: JSON cannot represent non-finite floats, and an
+// unset bound (`f64::INFINITY`) is a legitimate measurement value — it
+// serializes as `null` and reads back as infinity, so reports with an
+// unbounded strategy still produce (and re-load from) valid JSON.
+impl Serialize for Measurement {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("bench".to_string(), self.bench.to_value()),
+            ("metric".to_string(), self.metric.to_value()),
+            (
+                "value".to_string(),
+                if self.value.is_finite() {
+                    self.value.to_value()
+                } else {
+                    serde::Value::Null
+                },
+            ),
+            ("kind".to_string(), self.kind.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Measurement {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected a measurement object"))?;
+        let field = |name: &str| -> Result<&serde::Value, serde::Error> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::custom(format!("missing measurement field `{name}`")))
+        };
+        let value = match field("value")? {
+            serde::Value::Null => f64::INFINITY,
+            other => f64::from_value(other)?,
+        };
+        Ok(Measurement {
+            bench: String::from_value(field("bench")?)?,
+            metric: String::from_value(field("metric")?)?,
+            value,
+            kind: MetricKind::from_value(field("kind")?)?,
+        })
+    }
 }
 
 impl Measurement {
@@ -373,6 +422,40 @@ mod tests {
         ));
         assert_eq!(file.reports.len(), 2);
         assert_eq!(file.for_scale("quick").unwrap().measurements[0].value, 99.0);
+    }
+
+    #[test]
+    fn infinite_bound_serializes_as_null_and_round_trips() {
+        // An unset suboptimality bound is f64::INFINITY; JSON cannot
+        // express that, so it must become `null` (valid JSON!) and read
+        // back as infinity instead of erroring out of report export.
+        let report = report(
+            "quick",
+            &[(
+                "strategies/exact",
+                "bound_pct",
+                f64::INFINITY,
+                MetricKind::Counter,
+            )],
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"value\":null"), "got {json}");
+        assert!(!json.contains("inf"), "got {json}");
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.measurements[0].value, f64::INFINITY);
+        assert_eq!(back, report);
+        // Finite values are untouched by the hand-written impls.
+        let finite = report_for_scale_finite();
+        let json = serde_json::to_string(&finite).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, finite);
+    }
+
+    fn report_for_scale_finite() -> BenchReport {
+        report(
+            "quick",
+            &[("strategies/anytime", "bound_pct", 3.51, MetricKind::Counter)],
+        )
     }
 
     #[test]

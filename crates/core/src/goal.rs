@@ -440,6 +440,15 @@ impl PercentileDigest {
         debug_assert!(false, "rank {k} exceeds merged size {seen}");
         last
     }
+
+    /// Nearest-rank percentile index: `k = ⌈percent/100 · n⌉` clamped to
+    /// `1..=n` — the rank whose value is the latency within which
+    /// `percent`% of `n` completions finished. Shared by the penalty
+    /// tracker and the search heuristics so the two can never disagree on
+    /// which order statistic an SLA prices.
+    pub fn nearest_rank(percent: f64, n: u64) -> u64 {
+        (((percent / 100.0) * n as f64).ceil() as u64).clamp(1, n)
+    }
 }
 
 /// Incremental penalty state. Pushing a completion returns the penalty
@@ -551,8 +560,7 @@ impl PenaltyTracker {
                 // k = ceil(percent/100 * n) is the latency within which
                 // `percent`% of queries finished.
                 let n = dist.len();
-                let k = ((percent / 100.0) * n as f64).ceil() as u64;
-                let k = k.clamp(1, n);
+                let k = PercentileDigest::nearest_rank(*percent, n);
                 let at_percentile = Millis::from_millis(dist.value_at_rank(k));
                 rate.for_violation(at_percentile.saturating_sub(*deadline))
             }

@@ -57,24 +57,6 @@ impl HeuristicTable {
         }
     }
 
-    /// The fastest possible executions of the still-unassigned queries as
-    /// ascending `(latency_ms, count)` buckets — `O(num_templates)` thanks
-    /// to the precomputed [`exec_order`](Self::exec_order).
-    fn remaining_exec_buckets(&self, state: &SearchState) -> Vec<(u64, u32)> {
-        let mut out: Vec<(u64, u32)> = Vec::with_capacity(self.exec_order.len());
-        for &(ms, t) in &self.exec_order {
-            let count = state.unassigned.get(t).copied().unwrap_or(0) as u32;
-            if count == 0 {
-                continue;
-            }
-            match out.last_mut() {
-                Some((v, n)) if *v == ms => *n += count,
-                _ => out.push((ms, count)),
-            }
-        }
-        out
-    }
-
     /// Cheapest processing cost of one instance of `t`.
     pub fn cheapest(&self, t: TemplateId) -> Money {
         self.cheapest.get(t.index()).copied().unwrap_or(Money::ZERO)
@@ -102,10 +84,14 @@ impl HeuristicTable {
     /// * Non-monotone goals: placements can *refund* penalty, so the paper
     ///   uses the null heuristic. We use a stronger admissible bound: the
     ///   future penalty deltas telescope to `p_final − p_current`, and
-    ///   `p_final` is lower-bounded by pretending every remaining query
-    ///   completes at its fastest possible execution time. At a goal vertex
-    ///   the estimate is exactly zero, which the optimality argument for
-    ///   inconsistent heuristics relies on.
+    ///   `p_final` is lower-bounded by a `P‖ΣC_j`-style packing argument —
+    ///   remaining work must serialize onto however many machines the
+    ///   schedule pays for, so completions are bounded by prefix sums of
+    ///   the fastest executions (plus the open VM's queue wait), not bare
+    ///   fastest executions; see [`Self::average_bound`] and
+    ///   [`Self::percentile_bound`]. At a goal vertex the estimate is
+    ///   exactly zero, which the optimality argument for inconsistent
+    ///   heuristics relies on.
     pub fn estimate(&self, goal: &PerformanceGoal, state: &SearchState) -> Money {
         if state.is_goal() {
             return Money::ZERO;
@@ -119,9 +105,13 @@ impl HeuristicTable {
                 let current = state.tracker.penalty(goal);
                 runtime + self.average_bound(state, *target, *rate) - current
             }
-            PerformanceGoal::Percentile { .. } => {
+            PerformanceGoal::Percentile {
+                percent,
+                deadline,
+                rate,
+            } => {
                 let current = state.tracker.penalty(goal);
-                runtime + self.final_penalty_lower_bound(goal, state) - current
+                runtime + self.percentile_bound(state, *percent, *deadline, *rate) - current
             }
         }
     }
@@ -296,56 +286,109 @@ impl HeuristicTable {
         best
     }
 
-    /// A lower bound on the *final* penalty reachable from `state`:
-    /// completions can only be slower than the fastest execution of each
-    /// remaining query, and both the mean and any order statistic are
-    /// monotone in each completion time.
-    fn final_penalty_lower_bound(&self, goal: &PerformanceGoal, state: &SearchState) -> Money {
-        match (goal, &state.tracker) {
-            (
-                PerformanceGoal::AverageLatency { target, rate },
-                PenaltyTracker::Average { sum_ms, count },
-            ) => {
-                let mut sum = *sum_ms;
-                let mut n = *count;
-                for (t, &remaining) in state.unassigned.iter().enumerate() {
-                    sum += self.min_exec[t].as_millis() as u128 * remaining as u128;
-                    n += remaining as u64;
-                }
-                if n == 0 {
-                    return Money::ZERO;
-                }
-                let mean = Millis::from_millis((sum / n as u128) as u64);
-                rate.for_violation(mean.saturating_sub(*target))
+    /// For percentile goals: the cheapest conceivable combination of
+    /// new-VM fees and tail-latency penalty, anticipating queue
+    /// serialization (`P‖ΣC_j`-style packing, as in
+    /// [`Self::average_bound`]).
+    ///
+    /// Remaining queries cannot all finish at their fastest executions:
+    /// with `V` new VMs plus the open one, `m = V + open` machines share
+    /// the remaining work, and among the `j` earliest-finishing remaining
+    /// queries some machine holds at least `⌈j/m⌉` of them (pigeonhole).
+    /// That machine's last such query completes no earlier than the sum of
+    /// the `⌈j/m⌉` smallest remaining executions `S(⌈j/m⌉)`, so the `j`-th
+    /// smallest remaining completion is at least
+    /// `c̃_j = max(e_(j), S(⌈j/m⌉) + offset)`, where `e_(j)` is the `j`-th
+    /// smallest remaining execution and `offset` folds in the open VM's
+    /// queue wait when everything must serialize behind it (`V = 0`). The
+    /// final percentile is then at least the k-th order statistic of the
+    /// completed digest merged with the `c̃` floors — computed by the same
+    /// `O(buckets + r)` quantized-digest walk as before, never a sort.
+    /// Minimizing `f_min·paid_VMs + penalty_floor(V)` over `V` stays
+    /// admissible: any completion with `V` new VMs pays at least that fee
+    /// and at least that penalty, and `c̃_j ≥ e_(j)` makes the floor no
+    /// weaker than the old fastest-execution bound (`h_new ≥ h_old`).
+    fn percentile_bound(
+        &self,
+        state: &SearchState,
+        percent: f64,
+        deadline: Millis,
+        rate: wisedb_core::PenaltyRate,
+    ) -> Money {
+        let PenaltyTracker::Percentile { dist } = &state.tracker else {
+            return Money::ZERO;
+        };
+        // Remaining executions, ascending (no sort: the precomputed order).
+        let mut execs: Vec<u64> = Vec::new();
+        for &(ms, t) in &self.exec_order {
+            let count = state.unassigned.get(t).copied().unwrap_or(0);
+            for _ in 0..count {
+                execs.push(ms);
             }
-            (
-                PerformanceGoal::Percentile {
-                    percent,
-                    deadline,
-                    rate,
-                },
-                PenaltyTracker::Percentile { dist },
-            ) => {
-                // The k-th order statistic of (completed ∪ fastest-possible
-                // remaining) latencies, via a bucket merge of the quantized
-                // digest with the precomputed remaining-exec buckets —
-                // O(buckets + templates) per state, no sort, no
-                // materialized multiset. Values are identical to sorting
-                // the merged multiset, so exact-search behaviour (and every
-                // expansion counter) is unchanged.
-                let extra = self.remaining_exec_buckets(state);
-                let n = dist.len() + extra.iter().map(|&(_, c)| c as u64).sum::<u64>();
-                if n == 0 {
-                    return Money::ZERO;
-                }
-                let k = (((percent / 100.0) * n as f64).ceil() as u64).clamp(1, n);
-                let at = Millis::from_millis(dist.value_at_rank_merged(k, &extra));
-                rate.for_violation(at.saturating_sub(*deadline))
-            }
-            // Monotone goals never reach here; mismatched trackers cannot
-            // occur because the state was built from this goal.
-            _ => Money::ZERO,
         }
+        let r = execs.len();
+        let n = dist.len() + r as u64;
+        if n == 0 {
+            return Money::ZERO;
+        }
+        let k = wisedb_core::PercentileDigest::nearest_rank(percent, n);
+        if r == 0 {
+            let at = Millis::from_millis(dist.value_at_rank(k));
+            return rate.for_violation(at.saturating_sub(deadline));
+        }
+        // Prefix sums: prefix[u-1] = S(u), the u smallest executions.
+        let mut prefix: Vec<u64> = Vec::with_capacity(r);
+        let mut acc = 0u64;
+        for &e in &execs {
+            acc += e;
+            prefix.push(acc);
+        }
+        let open = usize::from(state.last_vm.is_some());
+        let wait = state
+            .last_vm
+            .as_ref()
+            .map(|l| l.wait.as_millis())
+            .unwrap_or(0);
+        let mut best = Money::from_dollars(f64::INFINITY);
+        let mut floors: Vec<(u64, u32)> = Vec::with_capacity(r);
+        for v in 0..=r {
+            let machines = (v + open).max(1);
+            // V new VMs are only "free" capacity if we pay their fee; with
+            // no open VM at least one rental is mandatory.
+            let paid_vms = if open == 0 { v.max(1) } else { v };
+            // Only when nothing new is rented does every remaining query
+            // queue behind the open VM's existing work.
+            let offset = if v == 0 && open == 1 { wait } else { 0 };
+            // c̃ is non-decreasing (max of two non-decreasing sequences),
+            // so run-length encoding yields the strictly ascending buckets
+            // `value_at_rank_merged` requires.
+            floors.clear();
+            for (j, &e) in execs.iter().enumerate() {
+                let c = e.max(prefix[j / machines] + offset);
+                match floors.last_mut() {
+                    Some((val, count)) if *val == c => *count += 1,
+                    _ => floors.push((c, 1)),
+                }
+            }
+            let at = Millis::from_millis(dist.value_at_rank_merged(k, &floors));
+            let penalty = rate.for_violation(at.saturating_sub(deadline));
+            let candidate = self.min_startup * paid_vms as f64 + penalty;
+            if candidate < best {
+                best = candidate;
+            }
+            if penalty == Money::ZERO {
+                break; // adding VMs only raises the fee from here on
+            }
+            if machines >= r && offset == 0 {
+                // The floor has degenerated to bare fastest executions;
+                // more machines change nothing but the fee. (With a queue
+                // offset in play — `v == 0` behind a loaded open VM — the
+                // next iteration drops the offset, so the floor can still
+                // fall and the break would overstate the minimum.)
+                break;
+            }
+        }
+        best
     }
 }
 
@@ -448,19 +491,27 @@ mod tests {
         assert_eq!(table.estimate(&goal, &state), Money::ZERO);
     }
 
-    /// The bucket-merge percentile bound equals the historical
-    /// sort-the-materialized-multiset reference on states reached by real
-    /// decision sequences — the bit-identity contract of the digest
-    /// refactor.
+    /// The bucket-merge queue-wait percentile bound equals a materialized
+    /// sort-every-candidate reference on states reached by real decision
+    /// sequences, and it never drops below the historical
+    /// fastest-executions-only floor (`h_new ≥ h_old`).
     #[test]
-    fn percentile_estimate_matches_sorted_reference() {
+    fn percentile_estimate_matches_packing_reference() {
         let spec = spec();
+        let deadline = Millis::from_secs(100);
+        let rate = PenaltyRate::CENT_PER_SECOND;
         let goal = wisedb_core::PerformanceGoal::Percentile {
             percent: 75.0,
-            deadline: Millis::from_secs(100),
-            rate: PenaltyRate::CENT_PER_SECOND,
+            deadline,
+            rate,
         };
         let table = HeuristicTable::new(&spec);
+        let min_startup = spec
+            .vm_types()
+            .iter()
+            .map(|v| v.startup_cost)
+            .min_by(Money::total_cmp)
+            .unwrap();
         // Walk a few placement sequences, checking the estimate at every
         // intermediate state.
         for placements in [vec![0usize, 1, 1], vec![1, 1, 0, 0], vec![0, 0, 1], vec![1]] {
@@ -475,34 +526,71 @@ mod tests {
                     .unwrap();
                 state = s;
 
-                // Reference: materialize completed ∪ fastest-remaining,
-                // sort, take the nearest-rank percentile.
                 let wisedb_core::PenaltyTracker::Percentile { dist } = &state.tracker else {
                     unreachable!()
                 };
-                let mut merged: Vec<u64> = dist
+                let completed: Vec<u64> = dist
                     .buckets()
                     .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize))
                     .collect();
+                let mut execs: Vec<u64> = Vec::new();
                 for (t, &remaining) in state.unassigned.iter().enumerate() {
                     for _ in 0..remaining {
-                        merged.push(spec.templates()[t].min_latency().unwrap().as_millis());
+                        execs.push(spec.templates()[t].min_latency().unwrap().as_millis());
                     }
                 }
-                merged.sort_unstable();
-                let n = merged.len();
-                let k = (((75.0 / 100.0) * n as f64).ceil() as usize).clamp(1, n);
-                let at = Millis::from_millis(merged[k - 1]);
-                let reference_final = PenaltyRate::CENT_PER_SECOND
-                    .for_violation(at.saturating_sub(Millis::from_secs(100)));
+                execs.sort_unstable();
+                let r = execs.len();
+                let open = usize::from(state.last_vm.is_some());
+                let wait = state
+                    .last_vm
+                    .as_ref()
+                    .map(|l| l.wait.as_millis())
+                    .unwrap_or(0);
+                let percentile_of = |mut merged: Vec<u64>| -> Money {
+                    merged.sort_unstable();
+                    let n = merged.len();
+                    let k = (((75.0 / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+                    rate.for_violation(Millis::from_millis(merged[k - 1]).saturating_sub(deadline))
+                };
+
+                // Old bound: every remaining query at its fastest execution,
+                // no fees — the floor the new bound must dominate.
+                let mut naive = completed.clone();
+                naive.extend_from_slice(&execs);
+                let old_floor = percentile_of(naive);
+
+                // New reference: min over V new VMs of fee + packed-floor
+                // penalty, with per-rank completions
+                // `max(e_(j), S(⌈j/m⌉) + offset)` materialized and sorted.
+                let mut best = Money::from_dollars(f64::INFINITY);
+                for v in 0..=r {
+                    let machines = (v + open).max(1);
+                    let paid_vms = if open == 0 { v.max(1) } else { v };
+                    let offset = if v == 0 && open == 1 { wait } else { 0 };
+                    let mut merged = completed.clone();
+                    for (j, &e) in execs.iter().enumerate() {
+                        let s: u64 = execs[..(j / machines) + 1].iter().sum();
+                        merged.push(e.max(s + offset));
+                    }
+                    let candidate = min_startup * paid_vms as f64 + percentile_of(merged);
+                    if candidate < best {
+                        best = candidate;
+                    }
+                }
 
                 let runtime = table.remaining_runtime_lower_bound(&state);
                 let current = state.tracker.penalty(&goal);
-                let expected = runtime + reference_final - current;
+                let expected = runtime + best - current;
                 let estimate = table.estimate(&goal, &state);
                 assert!(
                     estimate.approx_eq(expected, 1e-12),
                     "after {placements:?}: estimate {estimate} vs reference {expected}"
+                );
+                let floor = runtime + old_floor - current;
+                assert!(
+                    estimate >= floor - Money::from_dollars(1e-12),
+                    "after {placements:?}: estimate {estimate} below old floor {floor}"
                 );
             }
         }

@@ -9,8 +9,9 @@
 //! `l(q,i)·f_r + Δpenalty`, Eq. 2). A minimum-cost path from "everything
 //! unassigned" to "nothing unassigned" is a minimum-cost schedule under
 //! Eq. 1 — found here by the pluggable solver layer ([`strategy`]): exact
-//! A* ([`strategy::ExactAStar`], the default), beam search
-//! ([`strategy::BeamSearch`]), anytime weighted A*
+//! A* ([`strategy::ExactAStar`], the default), partial-expansion A*
+//! ([`strategy::PartialExpansionAStar`], exact with a bounded successor
+//! appetite), beam search ([`strategy::BeamSearch`]), anytime weighted A*
 //! ([`strategy::AnytimeWeightedAStar`]), and, for families of tightening
 //! goals, adaptive A* ([`adaptive::AdaptiveSearcher`]).
 //!
@@ -37,6 +38,6 @@ pub use heuristic::HeuristicTable;
 pub use state::{LastVm, SearchState, StateKey};
 pub use strategy::{
     solve_counts, AnytimeWeightedAStar, BeamSearch, DecisionStep, ExactAStar, HeuristicMemo,
-    OptimalSchedule, Plan, SearchConfig, SearchOutcome, SearchStats, SearchStrategy, Solver,
-    Strategy,
+    OptimalSchedule, PartialExpansionAStar, Plan, SearchConfig, SearchOutcome, SearchStats,
+    SearchStrategy, Solver, Strategy,
 };

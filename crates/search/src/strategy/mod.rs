@@ -17,8 +17,14 @@
 //!   the first incumbent with ε decaying at every improvement, and returns
 //!   the best incumbent with a **proven suboptimality bound** when the
 //!   node/time budget expires (or the optimum, if the open list drains).
+//! * [`PartialExpansionAStar`] — exact like the first, but each expansion
+//!   enqueues only the successors whose `f` fits under the vertex's stored
+//!   `F`, re-enqueueing the vertex with a raised `F` for the rest — the
+//!   classic PEA* trade of cheap re-expansions for a drastically smaller
+//!   interned frontier on wide branching (percentile goals fan out per
+//!   template × placement).
 //!
-//! All three share the interned-state machinery ([`common`]): the dense
+//! All four share the interned-state machinery ([`common`]): the dense
 //! state-id interner, flat id-indexed g/h tables, the persistent-queue
 //! vertices, and the greedy upper bound. [`Solver`] is the single entry
 //! point — [`SearchConfig::strategy`] picks the implementation, and the
@@ -42,11 +48,13 @@ pub mod anytime;
 pub mod beam;
 pub(crate) mod common;
 pub mod exact;
+pub mod pea;
 
 pub use anytime::AnytimeWeightedAStar;
 pub use beam::BeamSearch;
 pub use common::SearchCx;
 pub use exact::ExactAStar;
+pub use pea::PartialExpansionAStar;
 
 /// Which search strategy a [`Solver`] runs. Serializable, so training and
 /// replan configurations can persist their solver choice, and parseable
@@ -70,6 +78,12 @@ pub enum SearchStrategy {
         /// `[0, 1]` — `w` decays toward 1 as solutions are found.
         decay: f64,
     },
+    /// Partial-expansion A* — exact like [`SearchStrategy::Exact`], but an
+    /// expansion materializes only the successors whose `f` does not exceed
+    /// the vertex's stored `F`, deferring the rest and re-enqueueing the
+    /// vertex with a raised `F`. Trades re-expansions for a much smaller
+    /// interned/open frontier on wide branching.
+    Pea,
 }
 
 impl SearchStrategy {
@@ -97,7 +111,7 @@ impl SearchStrategy {
 
     /// Whether this strategy can prove optimality on an unbounded budget.
     pub fn is_exact(&self) -> bool {
-        matches!(self, SearchStrategy::Exact)
+        matches!(self, SearchStrategy::Exact | SearchStrategy::Pea)
     }
 }
 
@@ -115,6 +129,7 @@ impl std::fmt::Display for SearchStrategy {
             SearchStrategy::Anytime { weight, decay } => {
                 write!(f, "anytime:{weight}:{decay}")
             }
+            SearchStrategy::Pea => write!(f, "pea"),
         }
     }
 }
@@ -122,7 +137,7 @@ impl std::fmt::Display for SearchStrategy {
 impl std::str::FromStr for SearchStrategy {
     type Err = String;
 
-    /// Parses `exact`, `beam`, `beam:WIDTH`, `anytime`,
+    /// Parses `exact`, `pea`, `beam`, `beam:WIDTH`, `anytime`,
     /// `anytime:WEIGHT`, or `anytime:WEIGHT:DECAY`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut parts = s.split(':');
@@ -138,6 +153,7 @@ impl std::str::FromStr for SearchStrategy {
         };
         let strategy = match head.as_str() {
             "exact" | "astar" => SearchStrategy::Exact,
+            "pea" | "pea*" | "peastar" => SearchStrategy::Pea,
             "beam" => {
                 let width = match parts.next() {
                     None => Self::DEFAULT_BEAM_WIDTH,
@@ -164,7 +180,7 @@ impl std::str::FromStr for SearchStrategy {
             }
             other => {
                 return Err(format!(
-                    "unknown strategy {other:?} (expected exact | beam[:width] | \
+                    "unknown strategy {other:?} (expected exact | pea | beam[:width] | \
                      anytime[:weight[:decay]])"
                 ))
             }
@@ -244,6 +260,15 @@ pub struct SearchStats {
     /// Successor states discarded by beam truncation — the work a
     /// bounded-width search declined to do.
     pub pruned: u64,
+    /// Times an already-cached vertex was popped again to promote more of
+    /// its successors — partial expansion's currency (always 0 for the
+    /// other strategies).
+    pub reexpansions: u64,
+    /// Successor deferrals: a priced successor left cached (not enqueued)
+    /// past the end of an expansion because its `f` exceeded the vertex's
+    /// stored `F`. The same successor can defer repeatedly across
+    /// re-expansions.
+    pub deferred: u64,
     /// Proven multiplicative suboptimality bound: the returned cost is at
     /// most `bound ×` the optimal cost. `1.0` when optimality is proven;
     /// [`f64::INFINITY`] when the strategy could not establish a bound.
@@ -261,6 +286,8 @@ impl Default for SearchStats {
             limit_hit: false,
             incumbents: 0,
             pruned: 0,
+            reexpansions: 0,
+            deferred: 0,
             bound: f64::INFINITY,
         }
     }
@@ -493,6 +520,7 @@ impl<'a> Solver<'a> {
                 initial,
                 keep_explored,
             ),
+            SearchStrategy::Pea => self.run_with(&PartialExpansionAStar, initial, keep_explored),
         };
         if span.recording() {
             let s = &outcome.stats;
@@ -502,12 +530,18 @@ impl<'a> Solver<'a> {
             span.attr_u64("interned", s.interned);
             span.attr_u64("incumbents", s.incumbents);
             span.attr_u64("pruned", s.pruned);
+            span.attr_u64("reexpansions", s.reexpansions);
+            span.attr_u64("deferred", s.deferred);
             span.attr_f64("bound", s.bound);
             span.attr_bool("optimal", s.optimal);
             span.attr_bool("limit_hit", s.limit_hit);
         }
         wisedb_obs::counter_add("wisedb_search_solves_total", 1);
         wisedb_obs::counter_add("wisedb_search_expanded_total", outcome.stats.expanded);
+        wisedb_obs::counter_add(
+            "wisedb_search_reexpansions_total",
+            outcome.stats.reexpansions,
+        );
         (outcome, explored)
     }
 
@@ -615,6 +649,9 @@ mod tests {
     fn strategy_parses_and_round_trips() {
         for (text, expected) in [
             ("exact", SearchStrategy::Exact),
+            ("pea", SearchStrategy::Pea),
+            ("pea*", SearchStrategy::Pea),
+            ("peastar", SearchStrategy::Pea),
             ("beam", SearchStrategy::beam()),
             ("beam:64", SearchStrategy::Beam { width: 64 }),
             ("anytime", SearchStrategy::anytime()),
@@ -645,6 +682,7 @@ mod tests {
             "beam:x",
             "anytime:0.5",
             "anytime:1.5:2",
+            "pea:1",
             "foo",
         ] {
             assert!(bad.parse::<SearchStrategy>().is_err(), "{bad:?}");
@@ -655,6 +693,7 @@ mod tests {
     fn search_config_serde_round_trip() {
         for strategy in [
             SearchStrategy::Exact,
+            SearchStrategy::Pea,
             SearchStrategy::Beam { width: 17 },
             SearchStrategy::Anytime {
                 weight: 1.5,

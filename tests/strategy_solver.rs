@@ -1,7 +1,7 @@
 //! Differential tests for the pluggable search-strategy layer.
 //!
 //! The refactor extracted the monolithic A* into a `Solver` running one of
-//! three strategies. Contracts pinned here:
+//! four strategies. Contracts pinned here:
 //!
 //! * **exact == refactored-exact, bit-identically** — the default-config
 //!   solver and an explicit `SearchStrategy::Exact` agree with each other
@@ -13,13 +13,19 @@
 //! * **anytime is monotone in its budget** — growing the expansion budget
 //!   never worsens the incumbent (proptest);
 //! * **budget outcomes are observable** — `limit_hit` is set, and the
-//!   schedule is still complete.
+//!   schedule is still complete;
+//! * **the queue-wait-aware percentile bound dominates the old one and
+//!   stays admissible** — on random reachable states the new estimate is
+//!   ≥ the pre-PR-9 fastest-execution reference, and at the start vertex
+//!   it never exceeds the true optimum (proptests);
+//! * **PEA\* is exact** — partial expansion returns bit-identical costs to
+//!   exact A* across all four goal kinds (proptest).
 
 use proptest::prelude::*;
 
 use wisedb::prelude::*;
-use wisedb::search::{SearchStats, SearchStrategy};
-use wisedb_core::{total_cost, PenaltyRate};
+use wisedb::search::{HeuristicTable, SearchState, SearchStats, SearchStrategy};
+use wisedb_core::{total_cost, PenaltyRate, PenaltyTracker, PercentileDigest};
 
 fn fig3_spec() -> WorkloadSpec {
     WorkloadSpec::single_vm(
@@ -305,4 +311,179 @@ proptest! {
         let exact = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
         prop_assert!((last.unwrap() - exact.cost.as_dollars()).abs() <= 1e-9);
     }
+
+    /// PEA* is an exact strategy: identical costs to exact A* (to the bit)
+    /// and a proven 1.0 bound, for every goal kind.
+    #[test]
+    fn pea_star_costs_are_bit_identical_to_exact((spec, counts) in arb_workload_instance()) {
+        let workload = Workload::from_counts(&counts);
+        for kind in GoalKind::ALL {
+            let goal = PerformanceGoal::paper_default(kind, &spec)
+                .unwrap()
+                .tighten_pct(&spec, 0.5);
+            let exact = Solver::new(&spec, &goal)
+                .with_strategy(SearchStrategy::Exact)
+                .solve(&workload)
+                .unwrap();
+            let pea = Solver::new(&spec, &goal)
+                .with_strategy(SearchStrategy::Pea)
+                .solve(&workload)
+                .unwrap();
+            prop_assert!(pea.stats.optimal, "{kind:?}");
+            prop_assert_eq!(pea.stats.bound, 1.0, "{kind:?}");
+            prop_assert!(
+                pea.cost.approx_eq(exact.cost, 0.0),
+                "{kind:?}: pea {} != exact {}",
+                pea.cost,
+                exact.cost
+            );
+            pea.schedule.validate_complete(&workload).unwrap();
+        }
+    }
+
+    /// The queue-wait-aware percentile bound dominates the old
+    /// fastest-execution bound on random reachable states: tightening
+    /// never lost ground anywhere in the graph.
+    #[test]
+    fn percentile_bound_dominates_old_reference(
+        (spec, goal, counts, steps) in arb_percentile_instance()
+    ) {
+        let table = HeuristicTable::new(&spec);
+        let state = random_walk(&spec, &goal, &counts, &steps);
+        let h_new = table.estimate(&goal, &state);
+        let h_old = old_percentile_estimate(&table, &spec, &goal, &state);
+        prop_assert!(
+            h_new.as_dollars() >= h_old.as_dollars() - 1e-12,
+            "new bound {h_new} lost to old bound {h_old} at {state:?}"
+        );
+    }
+
+    /// Admissibility: at the start vertex the estimate never exceeds the
+    /// true optimum (`g = 0`, so `h(start) ≤ C*`). Exact A* supplies the
+    /// brute-force optimum on these ≤7-query instances.
+    #[test]
+    fn percentile_bound_is_admissible(
+        (spec, goal, counts, _steps) in arb_percentile_instance()
+    ) {
+        let workload = Workload::from_counts(&counts);
+        let table = HeuristicTable::new(&spec);
+        let counts16: Vec<u16> = counts.iter().map(|&c| c as u16).collect();
+        let start = SearchState::initial(counts16, &goal);
+        let h0 = table.estimate(&goal, &start);
+        let exact = AStarSearcher::new(&spec, &goal).solve(&workload).unwrap();
+        prop_assert!(exact.stats.optimal);
+        prop_assert!(
+            h0.as_dollars() <= exact.cost.as_dollars() + 1e-9,
+            "h(start) {h0} exceeds optimum {}",
+            exact.cost
+        );
+    }
+}
+
+fn arb_workload_instance() -> impl Strategy<Value = (WorkloadSpec, Vec<u32>)> {
+    arb_spec().prop_flat_map(|spec| {
+        let nt = spec.num_templates();
+        let counts = proptest::collection::vec(0u32..=3, nt).prop_filter("1..=6 queries", |c| {
+            let total: u32 = c.iter().sum();
+            total > 0 && total <= 6
+        });
+        (Just(spec), counts)
+    })
+}
+
+/// A percentile instance plus a random decision walk (indices into each
+/// state's successor list) used to reach an arbitrary interior vertex.
+fn arb_percentile_instance(
+) -> impl Strategy<Value = (WorkloadSpec, PerformanceGoal, Vec<u32>, Vec<usize>)> {
+    arb_spec().prop_flat_map(|spec| {
+        let nt = spec.num_templates();
+        let latencies: Vec<Millis> = spec
+            .templates()
+            .iter()
+            .map(|t| t.min_latency().unwrap())
+            .collect();
+        let mean = latencies.iter().copied().sum::<Millis>() / latencies.len() as u64;
+        let goal =
+            ((11u64..35), (50.0f64..100.0)).prop_map(move |(f, p)| PerformanceGoal::Percentile {
+                percent: p,
+                deadline: mean.mul_f64(f as f64 / 10.0),
+                rate: PenaltyRate::CENT_PER_SECOND,
+            });
+        let counts = proptest::collection::vec(0u32..=3, nt).prop_filter("1..=7 queries", |c| {
+            let total: u32 = c.iter().sum();
+            total > 0 && total <= 7
+        });
+        let steps = proptest::collection::vec(0usize..16, 0..12);
+        (Just(spec), goal, counts, steps)
+    })
+}
+
+/// Walks `steps` decisions from the start vertex, picking
+/// `successors[step % len]` at each vertex; stops early at goal vertices.
+fn random_walk(
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    counts: &[u32],
+    steps: &[usize],
+) -> SearchState {
+    let counts16: Vec<u16> = counts.iter().map(|&c| c as u16).collect();
+    let mut state = SearchState::initial(counts16, goal);
+    for &pick in steps {
+        if state.is_goal() {
+            break;
+        }
+        let decisions = state.successors(spec);
+        if decisions.is_empty() {
+            break;
+        }
+        let decision = decisions[pick % decisions.len()];
+        let (next, _) = state
+            .apply(spec, goal, decision)
+            .expect("successor is valid");
+        state = next;
+    }
+    state
+}
+
+/// The pre-PR-9 percentile estimate: remaining-runtime lower bound plus a
+/// penalty floor that assumes every remaining query completes at its
+/// *fastest possible* execution — no queue serialization. Reimplemented
+/// here as the differential reference for the dominance proptest.
+fn old_percentile_estimate(
+    table: &HeuristicTable,
+    spec: &WorkloadSpec,
+    goal: &PerformanceGoal,
+    state: &SearchState,
+) -> Money {
+    let PerformanceGoal::Percentile {
+        percent,
+        deadline,
+        rate,
+    } = goal
+    else {
+        unreachable!("generator only produces percentile goals")
+    };
+    let runtime = table.remaining_runtime_lower_bound(state);
+    let current = state.tracker.penalty(goal);
+    let PenaltyTracker::Percentile { dist } = &state.tracker else {
+        unreachable!("percentile goals track a digest")
+    };
+    let mut completions: Vec<u64> = (1..=dist.len()).map(|k| dist.value_at_rank(k)).collect();
+    for t in spec.template_ids() {
+        let fastest = spec.templates()[t.index()]
+            .min_latency()
+            .expect("single-vm templates always have a latency")
+            .as_millis();
+        for _ in 0..state.unassigned[t.index()] {
+            completions.push(fastest);
+        }
+    }
+    completions.sort_unstable();
+    if completions.is_empty() {
+        return runtime;
+    }
+    let k = PercentileDigest::nearest_rank(*percent, completions.len() as u64);
+    let at = Millis::from_millis(completions[(k - 1) as usize]);
+    let floor = rate.for_violation(at.saturating_sub(*deadline));
+    runtime + floor - current
 }

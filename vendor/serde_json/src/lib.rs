@@ -75,12 +75,16 @@ fn write_value(out: &mut String, v: &Value) -> Result<()> {
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => {
             if !f.is_finite() {
-                return Err(Error::new("JSON cannot represent non-finite floats"));
+                // JSON has no NaN/Infinity; real serde_json emits `null`
+                // for non-finite floats, and callers that need to round-trip
+                // them (e.g. unset suboptimality bounds) map null back.
+                out.push_str("null");
+            } else {
+                // Rust's shortest round-trip formatting; integral floats
+                // print without a fraction and re-parse as integers, which
+                // the numeric coercions in `serde::Value` accept.
+                out.push_str(&f.to_string());
             }
-            // Rust's shortest round-trip formatting; integral floats print
-            // without a fraction and re-parse as integers, which the numeric
-            // coercions in `serde::Value` accept.
-            out.push_str(&f.to_string());
         }
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => {
@@ -445,6 +449,20 @@ mod tests {
         let s = to_string(&f).unwrap();
         let back: f64 = from_str(&s).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // Real serde_json's behaviour: NaN/±∞ become `null`, producing
+        // valid JSON instead of an error (or worse, `inf` tokens).
+        for f in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(to_string(&f).unwrap(), "null");
+            assert_eq!(to_string_pretty(&f).unwrap(), "null");
+        }
+        let v = Value::Array(vec![Value::Float(f64::INFINITY), Value::Float(1.5)]);
+        let mut out = String::new();
+        write_value(&mut out, &v).unwrap();
+        assert_eq!(out, "[null,1.5]");
     }
 
     #[test]
