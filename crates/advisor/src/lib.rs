@@ -14,6 +14,8 @@
 //!   on one shared cluster view.
 //! * [`strategy`] — the strategy-recommendation ladder with EMD pruning
 //!   and per-template cost estimation functions (§6.1).
+//! * [`warm`] — the canonical solve cache and shared heuristic memo behind
+//!   warm retraining: duplicate sample signatures never re-run A*.
 //! * [`baselines`] — FFD / FFI / Pack9, the metric-specific heuristics the
 //!   paper compares against (§3, §7.2).
 //! * [`emd`] — 1-D Earth Mover's Distance.
@@ -28,6 +30,7 @@ pub mod model;
 pub mod multi;
 pub mod online;
 pub mod strategy;
+pub mod warm;
 
 pub use baselines::Heuristic;
 pub use batch::{schedule_batch, BatchPlan, StepSource};
@@ -41,3 +44,4 @@ pub use online::{
 pub use strategy::{
     attribute_costs, CostEstimator, RecommenderConfig, Strategy, StrategyRecommender,
 };
+pub use warm::{Signature, SolveCache, SolvedEntry, WarmStart, DEFAULT_CACHE_CAPACITY};

@@ -7,6 +7,7 @@
 //! [`DecisionModel`] is the artifact applications keep: it schedules any
 //! number of future batches without further search.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -18,9 +19,12 @@ use wisedb_core::{
     WorkloadSpec,
 };
 use wisedb_learn::{Dataset, DecisionTree, FeatureSchema, TreeParams};
-use wisedb_search::{AdaptiveSearcher, OptimalSchedule, SearchConfig, SearchStrategy};
+use wisedb_search::{
+    AdaptiveSearcher, HeuristicMemo, OptimalSchedule, SearchConfig, SearchStrategy, Solver,
+};
 
 use crate::batch::{self, BatchPlan};
+use crate::warm::{Lookup, Signature, SolveCache, SolvedEntry, WarmStart, DEFAULT_CACHE_CAPACITY};
 
 /// Training configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +57,15 @@ pub struct ModelConfig {
     /// deserializing to plain exact training.
     #[serde(default)]
     pub goal_aware_strategy: bool,
+    /// Capacity of the per-generator [`SolveCache`] in distinct sample
+    /// signatures (`0` means [`DEFAULT_CACHE_CAPACITY`]). Training
+    /// canonicalizes every sample to its template multiset and memoizes the
+    /// solve, so duplicate samples — within one `train` call or across the
+    /// retrains a drift loop performs via
+    /// [`ModelGenerator::retrain_from`] — never re-run A*. Serde-defaults
+    /// to `0`, so persisted legacy configurations keep deserializing.
+    #[serde(default)]
+    pub cache_capacity: usize,
     /// Worker threads for the per-sample A* solves, which are
     /// embarrassingly parallel. `0` means one per available CPU core; `1`
     /// forces the serial path. Results are merged in sample order, so the
@@ -72,6 +85,7 @@ impl ModelConfig {
             tree: TreeParams::default(),
             search: SearchConfig::default(),
             goal_aware_strategy: true,
+            cache_capacity: 0,
             threads: 0,
         }
     }
@@ -87,6 +101,7 @@ impl ModelConfig {
             tree: TreeParams::default(),
             search: SearchConfig::default(),
             goal_aware_strategy: true,
+            cache_capacity: 0,
             threads: 0,
         }
     }
@@ -94,6 +109,13 @@ impl ModelConfig {
     /// Overrides the sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the solve-cache capacity (see
+    /// [`cache_capacity`](ModelConfig::cache_capacity)).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 
@@ -128,6 +150,15 @@ impl ModelConfig {
         }
         search
     }
+
+    /// The effective solve-cache capacity (`0` resolves to the default).
+    pub fn resolved_cache_capacity(&self) -> usize {
+        if self.cache_capacity == 0 {
+            DEFAULT_CACHE_CAPACITY
+        } else {
+            self.cache_capacity
+        }
+    }
 }
 
 impl Default for ModelConfig {
@@ -151,6 +182,14 @@ pub struct TrainingStats {
     pub tree_leaves: usize,
     /// Total A* expansions across all samples.
     pub search_expanded: u64,
+    /// Distinct A* solves this run actually performed (samples minus
+    /// cache/dedup hits). Serde-defaults to `0` for legacy payloads.
+    #[serde(default)]
+    pub solves: u64,
+    /// Samples served from the solve cache (earlier runs) or by within-run
+    /// signature dedup. Serde-defaults to `0` for legacy payloads.
+    #[serde(default)]
+    pub cache_hits: u64,
     /// Wall-clock training time in seconds.
     pub training_secs: f64,
 }
@@ -263,15 +302,59 @@ impl DecisionModel {
 }
 
 /// Everything kept from training that adaptive re-training (§5) can reuse:
-/// the sample workloads and each one's adaptive searcher. Cloning copies
-/// the warmed search memos, so independent consumers (e.g. several online
-/// schedulers over one base model) can each keep adapting cheaply.
+/// the sample workloads, each one's adaptive searcher, and the solve cache
+/// the run was trained through. Cloning copies the warmed search memos but
+/// *shares* the solve cache, so independent consumers (e.g. several online
+/// schedulers over one base model) each keep adapting cheaply while warm
+/// retrains keep deduplicating against one signature store.
 #[derive(Clone)]
 pub struct TrainingArtifacts {
     /// The sampled training workloads.
     pub samples: Vec<Workload>,
-    /// Per-sample adaptive searchers, warm with the original solve.
-    pub searchers: Vec<AdaptiveSearcher>,
+    /// Per-sample adaptive searchers (possibly still pending
+    /// materialization from the cached solve entries).
+    searchers: SearcherState,
+    /// The solve cache this model was trained through.
+    warm: WarmStart,
+}
+
+/// Per-sample searcher storage. Training stores the solve entries and
+/// defers building each sample's [`AdaptiveSearcher`] memo until a
+/// tightening retrain actually needs it — most artifacts never retrain,
+/// and the rebuild is exactly the memo the sample's own solve would have
+/// left behind, so materialization is invisible to results.
+#[derive(Clone)]
+enum SearcherState {
+    /// Materialized per-sample searchers.
+    Ready(Vec<AdaptiveSearcher>),
+    /// The cached pipeline's per-sample solve entries, one per sample.
+    Pending(Vec<Arc<SolvedEntry>>),
+}
+
+impl TrainingArtifacts {
+    /// A handle to the solve cache this model was trained through; feed it
+    /// to [`ModelGenerator::retrain_from`] to skip every already-solved
+    /// sample signature.
+    pub fn warm_start(&self) -> WarmStart {
+        self.warm.clone()
+    }
+
+    /// The sample workloads alongside their (materialized) adaptive
+    /// searchers, for the tightening-retrain solve loop.
+    fn parts_mut(&mut self) -> (&[Workload], &mut [AdaptiveSearcher]) {
+        if let SearcherState::Pending(entries) = &self.searchers {
+            self.searchers = SearcherState::Ready(
+                entries
+                    .iter()
+                    .map(|e| AdaptiveSearcher::warmed(e.searcher_memo()))
+                    .collect(),
+            );
+        }
+        match &mut self.searchers {
+            SearcherState::Ready(s) => (&self.samples, s),
+            SearcherState::Pending(_) => unreachable!("materialized above"),
+        }
+    }
 }
 
 /// Trains [`DecisionModel`]s for a (spec, goal) pair.
@@ -321,23 +404,183 @@ impl ModelGenerator {
     }
 
     /// Trains a model and returns the artifacts needed to re-train cheaply
-    /// for stricter goals (strategy recommendation, online shifting).
+    /// for stricter goals (strategy recommendation, online shifting) or
+    /// for the same goal ([`retrain_from`](Self::retrain_from)).
     pub fn train_with_artifacts(&self) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
+        self.train_cached(self.fresh_cache())
+    }
+
+    /// Re-trains reusing a previous run's solve cache (§4 warm path): only
+    /// sample signatures absent from the cache are A*-solved; everything
+    /// else — within-run duplicates included — is served from the memoized
+    /// entries. On an unchanged template mix the retrain performs **zero**
+    /// solves and returns a bit-identical model.
+    ///
+    /// If the warm start was built for a different `(spec, goal, search)`
+    /// triple it is silently replaced with a fresh cache — a stale warm
+    /// start can cost a cold retrain, never a wrong model.
+    pub fn retrain_from(&self, warm: &WarmStart) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
+        let search = self.config.search_for(&self.goal);
+        let cache = if warm.cache().matches(&self.spec, &self.goal, &search) {
+            Arc::clone(warm.cache())
+        } else {
+            self.fresh_cache()
+        };
+        self.train_cached(cache)
+    }
+
+    /// An empty solve cache for this generator's search problem.
+    fn fresh_cache(&self) -> Arc<SolveCache> {
+        Arc::new(SolveCache::new(
+            self.spec.clone(),
+            self.goal.clone(),
+            self.config.search_for(&self.goal),
+            self.config.resolved_cache_capacity(),
+        ))
+    }
+
+    /// The shared train pipeline: sample, resolve signatures against the
+    /// cache, solve only the missing ones (against the run's frozen memo
+    /// snapshot), then assemble the dataset and per-sample searchers in
+    /// sample order. See [`crate::warm`] for why the result is
+    /// bit-identical to the historical uncached pipeline.
+    fn train_cached(
+        &self,
+        cache: Arc<SolveCache>,
+    ) -> CoreResult<(DecisionModel, TrainingArtifacts)> {
         let mut span = wisedb_obs::span("train.model");
         self.goal.validate_against(&self.spec)?;
+        let schema = FeatureSchema::for_spec(&self.spec);
         let samples = self.sample_workloads();
-        let mut searchers: Vec<AdaptiveSearcher> = (0..samples.len())
-            .map(|_| AdaptiveSearcher::new())
-            .collect();
         let start = Instant::now();
-        let (paths, expanded) = self.solve_samples(&self.goal, &samples, &mut searchers)?;
-        let model = self.fit_tree(&paths, expanded, start);
+
+        let sigs: Vec<Signature> = samples
+            .iter()
+            .map(|w| w.template_counts(self.spec.num_templates()))
+            .collect();
+        let plan = cache.plan(sigs);
+        let solved = self.solve_signatures(&schema, &plan.missing, &plan.frozen)?;
+        let hits = (samples.len() - plan.missing.len()) as u64;
+        cache.commit(plan.missing, solved.clone(), hits);
+
+        let mut dataset = Dataset::new(schema);
+        let mut searchers = Vec::with_capacity(samples.len());
+        let mut expanded = 0u64;
+        let mut first_solve_spent = vec![false; solved.len()];
+        for (workload, lookup) in samples.iter().zip(&plan.lookups) {
+            let (entry, hit) = match lookup {
+                Lookup::Hit(entry) => (entry, true),
+                Lookup::Missing(i) => {
+                    let duplicate = first_solve_spent[*i];
+                    first_solve_spent[*i] = true;
+                    (&solved[*i], duplicate)
+                }
+            };
+            let mut sample_span = wisedb_obs::span("train.sample");
+            if sample_span.recording() {
+                sample_span.attr_u64("queries", workload.len() as u64);
+                sample_span.attr_u64("expanded", entry.stats.expanded);
+                sample_span.attr_bool("cache_hit", hit);
+            }
+            drop(sample_span);
+            wisedb_obs::counter_add("wisedb_train_samples_total", 1);
+            if hit {
+                wisedb_obs::counter_add("wisedb_train_cache_hits_total", 1);
+            }
+            expanded += entry.stats.expanded;
+            dataset.rows.extend(entry.rows.iter().cloned());
+            dataset.labels.extend(entry.labels.iter().cloned());
+            searchers.push(Arc::clone(entry));
+        }
+
+        let solves = solved.len() as u64;
+        let model = self.fit_dataset(dataset, samples.len(), expanded, solves, hits, start);
         if span.recording() {
             span.attr_u64("samples", samples.len() as u64);
             span.attr_u64("expanded", expanded);
             span.attr_str("goal", self.goal.kind().name());
+            span.attr_u64("cache_hits", hits);
+            span.attr_f64("dedup_rate", hits as f64 / (samples.len().max(1)) as f64);
+            span.attr_u64("dataset_rows", model.stats.num_rows as u64);
         }
-        Ok((model, TrainingArtifacts { samples, searchers }))
+        let warm = WarmStart::new(cache);
+        Ok((
+            model,
+            TrainingArtifacts {
+                samples,
+                searchers: SearcherState::Pending(searchers),
+                warm,
+            },
+        ))
+    }
+
+    /// A*-solves the canonical workload of every missing signature against
+    /// the run's frozen memo snapshot, fanning across
+    /// [`ModelConfig::threads`] workers. Each solve is a pure function of
+    /// `(spec, goal, search, signature, frozen memo)` and results are
+    /// merged in signature order, so the output is identical to the serial
+    /// loop's regardless of thread count or scheduling.
+    fn solve_signatures(
+        &self,
+        schema: &FeatureSchema,
+        sigs: &[Signature],
+        frozen: &HeuristicMemo,
+    ) -> CoreResult<Vec<Arc<SolvedEntry>>> {
+        let requested = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let threads = requested.clamp(1, sigs.len().max(1));
+        let search = self.config.search_for(&self.goal);
+        let reuse = self.goal.is_monotone();
+
+        let solve_chunk = |chunk: &[Signature]| -> CoreResult<Vec<Arc<SolvedEntry>>> {
+            let mut entries = Vec::with_capacity(chunk.len());
+            for sig in chunk {
+                let workload = Workload::from_counts(sig);
+                let solver = Solver::new(&self.spec, &self.goal).with_config(search.clone());
+                let solver = if reuse {
+                    solver.with_memo(frozen)
+                } else {
+                    solver
+                };
+                let (solved, explored) = solver.solve_with_explored(&workload)?;
+                wisedb_obs::counter_add("wisedb_train_solves_total", 1);
+                entries.push(Arc::new(SolvedEntry::from_solve(
+                    &self.spec, &self.goal, schema, &solved, explored,
+                )));
+            }
+            Ok(entries)
+        };
+
+        if threads <= 1 || sigs.is_empty() {
+            return solve_chunk(sigs);
+        }
+
+        let chunk = sigs.len().div_ceil(threads);
+        let results: Vec<CoreResult<Vec<Arc<SolvedEntry>>>> = std::thread::scope(|scope| {
+            let solve_chunk = &solve_chunk;
+            let handles: Vec<_> = sigs
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || solve_chunk(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // Surface the worker's own panic, not a stand-in.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut entries = Vec::with_capacity(sigs.len());
+        for result in results {
+            entries.extend(result?);
+        }
+        Ok(entries)
     }
 
     /// Re-trains for a goal **at least as strict** as the one the artifacts
@@ -350,8 +593,8 @@ impl ModelGenerator {
     ) -> CoreResult<DecisionModel> {
         goal.validate_against(&self.spec)?;
         let start = Instant::now();
-        let (paths, expanded) =
-            self.solve_samples(goal, &artifacts.samples, &mut artifacts.searchers)?;
+        let (samples, searchers) = artifacts.parts_mut();
+        let (paths, expanded) = self.solve_samples(goal, samples, searchers)?;
         let generator = ModelGenerator {
             spec: self.spec.clone(),
             goal: GoalHandle::new(goal.clone()),
@@ -437,6 +680,9 @@ impl ModelGenerator {
         Ok((paths, expanded))
     }
 
+    /// The uncached fit path (per-sample solves already in hand): used by
+    /// [`retrain_tightened`](Self::retrain_tightened), whose per-sample
+    /// searcher memos are goal-specific and must not mix with the cache.
     fn fit_tree(
         &self,
         paths: &[OptimalSchedule],
@@ -444,14 +690,35 @@ impl ModelGenerator {
         started: Instant,
     ) -> DecisionModel {
         let dataset = Dataset::from_paths(&self.spec, &self.goal, paths);
+        self.fit_dataset(
+            dataset,
+            paths.len(),
+            expanded,
+            paths.len() as u64,
+            0,
+            started,
+        )
+    }
+
+    fn fit_dataset(
+        &self,
+        dataset: Dataset,
+        num_samples: usize,
+        expanded: u64,
+        solves: u64,
+        cache_hits: u64,
+        started: Instant,
+    ) -> DecisionModel {
         let tree = DecisionTree::train(&dataset, &self.config.tree);
         let stats = TrainingStats {
-            num_samples: paths.len(),
+            num_samples,
             num_rows: dataset.len(),
             training_accuracy: tree.accuracy(&dataset),
             tree_depth: tree.depth(),
             tree_leaves: tree.num_leaves(),
             search_expanded: expanded,
+            solves,
+            cache_hits,
             training_secs: started.elapsed().as_secs_f64(),
         };
         DecisionModel {
@@ -490,6 +757,7 @@ mod tests {
             tree: TreeParams::default(),
             search: SearchConfig::default(),
             goal_aware_strategy: true,
+            cache_capacity: 0,
             threads: 0,
         }
     }

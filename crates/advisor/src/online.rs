@@ -416,6 +416,14 @@ impl OnlineScheduler {
         &self.base
     }
 
+    /// A handle to the solve cache the base model was trained through.
+    /// Hand it to [`ModelGenerator::retrain_from`] (e.g. on a background
+    /// trainer thread) so a model refresh skips every sample signature
+    /// already solved for this scheduler.
+    pub fn warm_start(&self) -> crate::warm::WarmStart {
+        self.artifacts.warm_start()
+    }
+
     /// Current sizes of the (Reuse, Shift, augmented-view) caches — each
     /// is held at [`OnlineConfig::cache_capacity`] by LRU eviction.
     pub fn cache_sizes(&self) -> (usize, usize, usize) {

@@ -11,7 +11,10 @@
 //! sharded-scheduler loop (2-shard eager-rebalance replay, exact decision
 //! / merge / rebalance counters plus the 1-shard identity assert), and the
 //! serve layer's wire loop (loopback TCP, exact admit/shed counters plus
-//! round-trip percentiles) — plus the observability guard (the same
+//! round-trip percentiles), and the warm-training guard (cold train vs
+//! warm retrain through the solve cache: solve/dedup/row/node counters
+//! exact, zero-solve warm retrain asserted) — plus the observability
+//! guard (the same
 //! stream run at every tracing level: identical outcomes asserted, trace
 //! shape compared exactly, overhead recorded) — writes
 //! `BENCH_current.json`, and diffs it against the committed
@@ -513,6 +516,82 @@ fn serve_loop(scale: Scale, out: &mut Vec<Measurement>) {
     );
 }
 
+/// The warm-training guard: one cold train through the solve cache, then
+/// a warm [`ModelGenerator::retrain_from`] of the identical configuration.
+/// The work counters are exact — distinct A* solves, dedup/cache hits,
+/// dataset rows, and flat-tree nodes are all pure functions of the seed —
+/// and the warm retrain must perform **zero** solves and reproduce the
+/// cold model bit for bit (asserted here on every regress run). The
+/// cold/warm wall-clock pair is what EXPERIMENTS.md's warm-retrain table
+/// regenerates from.
+fn train_warm(scale: Scale, out: &mut Vec<Measurement>) {
+    let spec = wisedb::sim::catalog::tpch_like(10);
+    let goal = PerformanceGoal::paper_default(GoalKind::MaxLatency, &spec).unwrap();
+    let config = ModelConfig {
+        num_samples: if scale == Scale::Quick { 120 } else { 400 },
+        sample_size: 9,
+        seed: 0x7EA1,
+        ..ModelConfig::fast()
+    };
+    let bench = format!("train/{}x{}", config.num_samples, config.sample_size);
+    let generator = ModelGenerator::new(spec, goal, config);
+
+    let started = std::time::Instant::now();
+    let (cold, artifacts) = generator.train_with_artifacts().unwrap();
+    let cold_ms = ms(started.elapsed());
+
+    let warm_start = artifacts.warm_start();
+    let started = std::time::Instant::now();
+    let (warm, _) = generator.retrain_from(&warm_start).unwrap();
+    let warm_ms = ms(started.elapsed());
+
+    assert_eq!(
+        warm.stats().solves,
+        0,
+        "warm retrain of an identical config re-ran A* solves"
+    );
+    assert_eq!(
+        warm.tree(),
+        cold.tree(),
+        "warm retrain diverged from the cold model"
+    );
+    assert_eq!(warm.stats().num_rows, cold.stats().num_rows);
+
+    for (metric, value, kind) in [
+        ("cold_ms", cold_ms, MetricKind::Time),
+        ("warm_ms", warm_ms, MetricKind::Time),
+        ("solves", cold.stats().solves as f64, MetricKind::Counter),
+        (
+            "cache_hits",
+            cold.stats().cache_hits as f64,
+            MetricKind::Counter,
+        ),
+        (
+            "warm_solves",
+            warm.stats().solves as f64,
+            MetricKind::Counter,
+        ),
+        (
+            "dataset_rows",
+            cold.stats().num_rows as f64,
+            MetricKind::Counter,
+        ),
+        (
+            "tree_nodes",
+            cold.tree().num_nodes() as f64,
+            MetricKind::Counter,
+        ),
+    ] {
+        out.push(Measurement::new(&bench, metric, value, kind));
+    }
+    eprintln!(
+        "  {bench}: cold {cold_ms:.1}ms ({} solves, {} dedup hits) → warm {warm_ms:.1}ms (0 solves, {:.1}x)",
+        cold.stats().solves,
+        cold.stats().cache_hits,
+        cold_ms / warm_ms.max(1e-9),
+    );
+}
+
 /// The observability guard: the same deterministic in-process stream run
 /// with tracing **off**, **counters-only**, and with **full spans**.
 ///
@@ -692,6 +771,7 @@ fn main() {
     multitenant_loop(scale, &mut measurements);
     shard_loop(scale, &mut measurements);
     serve_loop(scale, &mut measurements);
+    train_warm(scale, &mut measurements);
     // Last: it flips the global tracing level, and nothing after it may
     // record under the instrumented levels.
     obs_overhead(scale, &mut measurements);

@@ -28,4 +28,4 @@ pub mod tree;
 
 pub use dataset::Dataset;
 pub use features::{hypothetical_placement_cost, FeatureKind, FeatureSchema};
-pub use tree::{DecisionTree, TreeNode, TreeParams};
+pub use tree::{DecisionTree, TreeParams};

@@ -14,8 +14,22 @@
 //!   the leaf error rate (J48's `addErrs`, default CF = 0.25), applied
 //!   bottom-up during induction (subtree replacement; subtree raising is not
 //!   implemented).
+//!
+//! Induction presorts each feature column once at the root and keeps every
+//! node's rows contiguous and value-sorted in those arrays by stably
+//! partitioning the node's span at each split, so split search is a linear
+//! scan instead of an `O(n log n)` per-node, per-feature sort. Candidate
+//! thresholds sit between distinct values and their prefix label counts are
+//! tie-order independent, so this picks exactly the splits the sort-per-node
+//! builder picked.
+//!
+//! The trained tree is stored **flat**: a structure-of-arrays in preorder,
+//! with the left child of node `i` implicitly at `i + 1` and the right child
+//! index stored explicitly. `predict` — which sits on the per-arrival hot
+//! path of `WorkloadService`/`MultiScheduler` — is a tight iterative loop
+//! over three contiguous arrays with no recursion or pointer chasing.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::dataset::Dataset;
 
@@ -48,71 +62,26 @@ impl Default for TreeParams {
     }
 }
 
-/// A node of the learned tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum TreeNode {
-    /// Terminal node predicting `label`.
-    Leaf {
-        /// Predicted label (majority of the training examples here).
-        label: usize,
-        /// Training examples that reached this leaf.
-        samples: usize,
-        /// Of those, how many had a different label.
-        errors: usize,
-    },
-    /// Binary test `features[feature] < threshold`.
-    Split {
-        /// Column index into the feature vector.
-        feature: usize,
-        /// Examples with `value < threshold` go left, the rest right.
-        threshold: f64,
-        /// Subtree for `value < threshold`.
-        left: Box<TreeNode>,
-        /// Subtree for `value >= threshold`.
-        right: Box<TreeNode>,
-    },
-}
-
-impl TreeNode {
-    fn depth(&self) -> usize {
-        match self {
-            TreeNode::Leaf { .. } => 0,
-            TreeNode::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
-        }
-    }
-
-    fn num_leaves(&self) -> usize {
-        match self {
-            TreeNode::Leaf { .. } => 1,
-            TreeNode::Split { left, right, .. } => left.num_leaves() + right.num_leaves(),
-        }
-    }
-
-    fn num_nodes(&self) -> usize {
-        match self {
-            TreeNode::Leaf { .. } => 1,
-            TreeNode::Split { left, right, .. } => 1 + left.num_nodes() + right.num_nodes(),
-        }
-    }
-
-    /// Pessimistic error estimate of the subtree: per-leaf observed errors
-    /// plus the confidence correction.
-    fn pessimistic_errors(&self, confidence: f64) -> f64 {
-        match self {
-            TreeNode::Leaf {
-                samples, errors, ..
-            } => *errors as f64 + add_errs(*samples as f64, *errors as f64, confidence),
-            TreeNode::Split { left, right, .. } => {
-                left.pessimistic_errors(confidence) + right.pessimistic_errors(confidence)
-            }
-        }
-    }
-}
+/// Sentinel in the `feature` array marking a leaf node.
+const LEAF: u32 = u32::MAX;
 
 /// A trained decision tree mapping feature vectors to decision labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Nodes live in preorder in parallel arrays: node `i` is a leaf iff
+/// `feature[i] == u32::MAX`, in which case `right[i]` holds its label;
+/// otherwise `feature[i]`/`threshold[i]` encode the test
+/// `features[feature] < threshold`, the left (`<`) child is at `i + 1` and
+/// the right child at `right[i]`. `samples`/`errors` carry the per-leaf
+/// training statistics shown by [`DecisionTree::render`] (splits store their
+/// sample count and zero errors by convention, so trees rebuilt from the
+/// legacy recursive JSON form compare equal to freshly trained ones).
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
-    root: TreeNode,
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    right: Vec<u32>,
+    samples: Vec<u32>,
+    errors: Vec<u32>,
     num_features: usize,
     num_labels: usize,
 }
@@ -125,14 +94,36 @@ impl DecisionTree {
     pub fn train(dataset: &Dataset, params: &TreeParams) -> DecisionTree {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         let mut span = wisedb_obs::span("learn.fit_tree");
-        let mut indices: Vec<usize> = (0..dataset.len()).collect();
-        let builder = Builder { dataset, params };
-        let root = builder.build(&mut indices, 0);
-        let tree = DecisionTree {
-            root,
-            num_features: dataset.schema.num_features(),
-            num_labels: dataset.schema.num_labels(),
+        let n = dataset.len();
+        let num_features = dataset.schema.num_features();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let orders: Vec<Vec<u32>> = (0..num_features)
+            .map(|f| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    dataset.rows[a as usize][f].total_cmp(&dataset.rows[b as usize][f])
+                });
+                order
+            })
+            .collect();
+        let mut builder = Builder {
+            dataset,
+            params,
+            tree: DecisionTree {
+                feature: Vec::new(),
+                threshold: Vec::new(),
+                right: Vec::new(),
+                samples: Vec::new(),
+                errors: Vec::new(),
+                num_features,
+                num_labels: dataset.schema.num_labels(),
+            },
+            orders,
+            in_left: vec![false; n],
+            scratch: vec![0u32; n],
         };
+        builder.build(&mut indices, 0, 0);
+        let tree = builder.tree;
         if span.recording() {
             span.attr_u64("rows", dataset.len() as u64);
             span.attr_u64("nodes", tree.num_nodes() as u64);
@@ -145,6 +136,7 @@ impl DecisionTree {
     ///
     /// # Panics
     /// Panics if `features` is shorter than the training schema.
+    #[inline]
     pub fn predict(&self, features: &[f64]) -> usize {
         assert!(
             features.len() >= self.num_features,
@@ -152,23 +144,17 @@ impl DecisionTree {
             features.len(),
             self.num_features
         );
-        let mut node = &self.root;
+        let mut i = 0usize;
         loop {
-            match node {
-                TreeNode::Leaf { label, .. } => return *label,
-                TreeNode::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    node = if features[*feature] < *threshold {
-                        left
-                    } else {
-                        right
-                    };
-                }
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.right[i] as usize;
             }
+            i = if features[f as usize] < self.threshold[i] {
+                i + 1
+            } else {
+                self.right[i] as usize
+            };
         }
     }
 
@@ -189,17 +175,28 @@ impl DecisionTree {
     /// Height of the tree (a lone leaf has depth 0). The paper observes its
     /// trees stay shallow (h < 30), which bounds scheduling to `O(h·n)`.
     pub fn depth(&self) -> usize {
-        self.root.depth()
+        let mut max = 0usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((i, d)) = stack.pop() {
+            let i = i as usize;
+            if self.feature[i] == LEAF {
+                max = max.max(d);
+            } else {
+                stack.push((i as u32 + 1, d + 1));
+                stack.push((self.right[i], d + 1));
+            }
+        }
+        max
     }
 
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
-        self.root.num_leaves()
+        self.feature.iter().filter(|&&f| f == LEAF).count()
     }
 
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.root.num_nodes()
+        self.feature.len()
     }
 
     /// Number of decision labels the tree can emit.
@@ -207,9 +204,15 @@ impl DecisionTree {
         self.num_labels
     }
 
-    /// The root node (for inspection/rendering).
-    pub fn root(&self) -> &TreeNode {
-        &self.root
+    /// The `(feature, threshold)` tested at the root, or `None` if the tree
+    /// is a single leaf. Inspection hook for tests and tools now that the
+    /// recursive node form is gone.
+    pub fn root_split(&self) -> Option<(usize, f64)> {
+        if self.feature[0] == LEAF {
+            None
+        } else {
+            Some((self.feature[0] as usize, self.threshold[0]))
+        }
     }
 
     /// Renders the tree as indented text, in the spirit of Figure 6.
@@ -218,51 +221,228 @@ impl DecisionTree {
         feature_name: &dyn Fn(usize) -> String,
         label_name: &dyn Fn(usize) -> String,
     ) -> String {
-        fn go(
-            node: &TreeNode,
-            indent: usize,
-            out: &mut String,
-            feature_name: &dyn Fn(usize) -> String,
-            label_name: &dyn Fn(usize) -> String,
-        ) {
-            let pad = "  ".repeat(indent);
-            match node {
-                TreeNode::Leaf {
-                    label,
-                    samples,
-                    errors,
-                } => {
-                    out.push_str(&format!(
-                        "{pad}=> {} ({samples} samples, {errors} errors)\n",
-                        label_name(*label)
-                    ));
+        enum Item {
+            Node(usize, usize),
+            Text(usize, &'static str),
+        }
+        let mut out = String::new();
+        let mut stack = vec![Item::Node(0, 0)];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Text(indent, text) => {
+                    out.push_str(&format!("{}{text}\n", "  ".repeat(indent)));
                 }
-                TreeNode::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    out.push_str(&format!(
-                        "{pad}{} < {threshold:.6}?\n",
-                        feature_name(*feature)
-                    ));
-                    out.push_str(&format!("{pad}yes:\n"));
-                    go(left, indent + 1, out, feature_name, label_name);
-                    out.push_str(&format!("{pad}no:\n"));
-                    go(right, indent + 1, out, feature_name, label_name);
+                Item::Node(i, indent) => {
+                    let pad = "  ".repeat(indent);
+                    if self.feature[i] == LEAF {
+                        out.push_str(&format!(
+                            "{pad}=> {} ({} samples, {} errors)\n",
+                            label_name(self.right[i] as usize),
+                            self.samples[i],
+                            self.errors[i],
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "{pad}{} < {:.6}?\n",
+                            feature_name(self.feature[i] as usize),
+                            self.threshold[i]
+                        ));
+                        // Preorder via LIFO: push in reverse emission order.
+                        stack.push(Item::Node(self.right[i] as usize, indent + 1));
+                        stack.push(Item::Text(indent, "no:"));
+                        stack.push(Item::Node(i + 1, indent + 1));
+                        stack.push(Item::Text(indent, "yes:"));
+                    }
                 }
             }
         }
-        let mut out = String::new();
-        go(&self.root, 0, &mut out, feature_name, label_name);
         out
     }
+
+    fn push_leaf(&mut self, label: usize, samples: usize, errors: usize) {
+        self.feature.push(LEAF);
+        self.threshold.push(0.0);
+        self.right.push(label as u32);
+        self.samples.push(samples as u32);
+        self.errors.push(errors as u32);
+    }
+
+    fn push_split(&mut self, feature: usize, threshold: f64, samples: usize) -> usize {
+        let at = self.feature.len();
+        self.feature.push(feature as u32);
+        self.threshold.push(threshold);
+        self.right.push(0); // patched once the right subtree is placed
+        self.samples.push(samples as u32);
+        self.errors.push(0);
+        at
+    }
+
+    /// Drops every node from `at` onward (the tail of the arrays is always a
+    /// whole preorder subtree during construction — this is how pruning
+    /// replaces a built subtree with a leaf).
+    fn truncate(&mut self, at: usize) {
+        self.feature.truncate(at);
+        self.threshold.truncate(at);
+        self.right.truncate(at);
+        self.samples.truncate(at);
+        self.errors.truncate(at);
+    }
+
+    /// Structural sanity for trees built from untrusted (deserialized) data:
+    /// equal array lengths, labels/features in range, and every right-child
+    /// index pointing strictly forward (which also guarantees `predict`
+    /// terminates).
+    fn validate(&self) -> Result<(), serde::Error> {
+        let n = self.feature.len();
+        if n == 0 {
+            return Err(serde::Error::custom("decision tree has no nodes"));
+        }
+        if [
+            self.threshold.len(),
+            self.right.len(),
+            self.samples.len(),
+            self.errors.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(serde::Error::custom(
+                "decision tree arrays disagree on length",
+            ));
+        }
+        for i in 0..n {
+            if self.feature[i] == LEAF {
+                if (self.right[i] as usize) >= self.num_labels {
+                    return Err(serde::Error::custom(format!(
+                        "leaf {i} label {} out of range",
+                        self.right[i]
+                    )));
+                }
+            } else {
+                if (self.feature[i] as usize) >= self.num_features {
+                    return Err(serde::Error::custom(format!(
+                        "split {i} feature {} out of range",
+                        self.feature[i]
+                    )));
+                }
+                let r = self.right[i] as usize;
+                if r <= i + 1 || r >= n {
+                    return Err(serde::Error::custom(format!(
+                        "split {i} right child {r} out of range"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Serde: flat format out, flat *or* legacy recursive format in
+// ---------------------------------------------------------------------------
+
+impl Serialize for DecisionTree {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("num_features".to_owned(), self.num_features.to_value()),
+            ("num_labels".to_owned(), self.num_labels.to_value()),
+            ("feature".to_owned(), self.feature.to_value()),
+            ("threshold".to_owned(), self.threshold.to_value()),
+            ("right".to_owned(), self.right.to_value()),
+            ("samples".to_owned(), self.samples.to_value()),
+            ("errors".to_owned(), self.errors.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DecisionTree {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("decision tree missing `{name}`")))
+        };
+        let num_features = usize::from_value(field("num_features")?)?;
+        let num_labels = usize::from_value(field("num_labels")?)?;
+        let mut tree = DecisionTree {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            right: Vec::new(),
+            samples: Vec::new(),
+            errors: Vec::new(),
+            num_features,
+            num_labels,
+        };
+        if let Some(root) = v.get("root") {
+            // Legacy recursive format: `{"root": {"Split"|"Leaf": {..}}, ..}`
+            // as written by models serialized before the flat representation.
+            flatten_legacy(root, &mut tree)?;
+        } else {
+            tree.feature = Vec::from_value(field("feature")?)?;
+            tree.threshold = Vec::from_value(field("threshold")?)?;
+            tree.right = Vec::from_value(field("right")?)?;
+            tree.samples = Vec::from_value(field("samples")?)?;
+            tree.errors = Vec::from_value(field("errors")?)?;
+        }
+        tree.validate()?;
+        Ok(tree)
+    }
+}
+
+/// Rebuilds the flat preorder arrays from a legacy externally-tagged
+/// `TreeNode` value (`{"Leaf": {...}}` / `{"Split": {...}}`). Split nodes
+/// recover their sample count as the sum of the children's (identical to
+/// what training records) and store zero errors, matching the convention in
+/// [`DecisionTree::push_split`].
+fn flatten_legacy(node: &Value, tree: &mut DecisionTree) -> Result<(), serde::Error> {
+    let field = |obj: &Value, name: &str| -> Result<Value, serde::Error> {
+        obj.get(name)
+            .cloned()
+            .ok_or_else(|| serde::Error::custom(format!("legacy tree node missing `{name}`")))
+    };
+    if let Some(leaf) = node.get("Leaf") {
+        let label = usize::from_value(&field(leaf, "label")?)?;
+        let samples = usize::from_value(&field(leaf, "samples")?)?;
+        let errors = usize::from_value(&field(leaf, "errors")?)?;
+        tree.push_leaf(label, samples, errors);
+        Ok(())
+    } else if let Some(split) = node.get("Split") {
+        let feature = usize::from_value(&field(split, "feature")?)?;
+        let threshold = f64::from_value(&field(split, "threshold")?)?;
+        let at = tree.push_split(feature, threshold, 0);
+        flatten_legacy(&field(split, "left")?, tree)?;
+        let right = tree.feature.len();
+        flatten_legacy(&field(split, "right")?, tree)?;
+        tree.right[at] = right as u32;
+        tree.samples[at] = tree.samples[at + 1] + tree.samples[right];
+        Ok(())
+    } else {
+        Err(serde::Error::custom(
+            "legacy tree node is neither `Leaf` nor `Split`",
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Induction
+// ---------------------------------------------------------------------------
 
 struct Builder<'a> {
     dataset: &'a Dataset,
     params: &'a TreeParams,
+    tree: DecisionTree,
+    /// One permutation of all row indices per feature, sorted by that
+    /// feature's value. Invariant: every node's rows occupy a contiguous,
+    /// still-sorted span in each array — maintained by stably partitioning
+    /// the span at every split, so `best_split` never sorts. Split choice is
+    /// unaffected by tie order among equal values (candidate boundaries sit
+    /// between *distinct* values and the prefix label counts there are
+    /// order-independent), so this evaluates the exact same candidates with
+    /// the exact same arithmetic as a per-node sort.
+    orders: Vec<Vec<u32>>,
+    /// Scratch: `in_left[row]` during a split's partition step, else false.
+    in_left: Vec<bool>,
+    /// Scratch for the stable partition (holds a span's right-side rows).
+    scratch: Vec<u32>,
 }
 
 struct SplitChoice {
@@ -280,20 +460,25 @@ impl Builder<'_> {
         counts
     }
 
-    fn build(&self, idx: &mut [usize], depth: usize) -> TreeNode {
+    /// Appends the subtree for `idx` (the span `[lo, lo + idx.len())` of
+    /// every feature order) to the flat arrays and returns its pessimistic
+    /// error estimate (per-leaf observed errors plus the confidence
+    /// correction, summed bottom-up in tree order — the same quantity the
+    /// recursive builder recomputed by walking each subtree).
+    fn build(&mut self, idx: &mut [usize], lo: usize, depth: usize) -> f64 {
         let counts = self.label_counts(idx);
         let (majority, majority_count) = argmax(&counts);
         let errors = idx.len() - majority_count;
-        let leaf = TreeNode::Leaf {
-            label: majority,
-            samples: idx.len(),
-            errors,
-        };
+        let leaf_errs =
+            errors as f64 + add_errs(idx.len() as f64, errors as f64, self.params.confidence);
+        let at = self.tree.feature.len();
         if errors == 0 || idx.len() < self.params.min_split || depth >= self.params.max_depth {
-            return leaf;
+            self.tree.push_leaf(majority, idx.len(), errors);
+            return leaf_errs;
         }
-        let Some(split) = self.best_split(idx, &counts) else {
-            return leaf;
+        let Some(split) = self.best_split(lo, idx.len(), &counts) else {
+            self.tree.push_leaf(majority, idx.len(), errors);
+            return leaf_errs;
         };
         // Partition indices in place: left = `< threshold`.
         let mut mid = 0;
@@ -304,59 +489,83 @@ impl Builder<'_> {
             }
         }
         debug_assert!(mid > 0 && mid < idx.len());
+        // Stably partition this node's span of every feature order, so both
+        // children keep the contiguous-and-sorted invariant.
+        for &r in &idx[..mid] {
+            self.in_left[r] = true;
+        }
+        let n = idx.len();
+        for order in &mut self.orders {
+            let span = &mut order[lo..lo + n];
+            let mut keep = 0usize;
+            let mut spill = 0usize;
+            for i in 0..n {
+                let r = span[i];
+                if self.in_left[r as usize] {
+                    span[keep] = r;
+                    keep += 1;
+                } else {
+                    self.scratch[spill] = r;
+                    spill += 1;
+                }
+            }
+            span[keep..].copy_from_slice(&self.scratch[..spill]);
+        }
+        for &r in &idx[..mid] {
+            self.in_left[r] = false;
+        }
+        self.tree
+            .push_split(split.feature, split.threshold, idx.len());
         let (left_idx, right_idx) = idx.split_at_mut(mid);
-        let left = self.build(left_idx, depth + 1);
-        let right = self.build(right_idx, depth + 1);
-        let node = TreeNode::Split {
-            feature: split.feature,
-            threshold: split.threshold,
-            left: Box::new(left),
-            right: Box::new(right),
-        };
+        let left_errs = self.build(left_idx, lo, depth + 1);
+        let right_at = self.tree.feature.len();
+        let right_errs = self.build(right_idx, lo + mid, depth + 1);
+        self.tree.right[at] = right_at as u32;
+        let subtree_errs = left_errs + right_errs;
         if self.params.prune {
-            let subtree_errs = node.pessimistic_errors(self.params.confidence);
-            let leaf_errs =
-                errors as f64 + add_errs(idx.len() as f64, errors as f64, self.params.confidence);
-            // J48's subtree-replacement rule (with its 0.1 slack).
+            // J48's subtree-replacement rule (with its 0.1 slack). The whole
+            // subtree sits at the tail of the arrays, so replacement is a
+            // truncation.
             if leaf_errs <= subtree_errs + 0.1 {
-                return leaf;
+                self.tree.truncate(at);
+                self.tree.push_leaf(majority, idx.len(), errors);
+                return leaf_errs;
             }
         }
-        node
+        subtree_errs
     }
 
-    fn best_split(&self, idx: &[usize], counts: &[usize]) -> Option<SplitChoice> {
-        let n = idx.len() as f64;
-        let base_entropy = entropy(counts, idx.len());
+    /// Finds the best gain-ratio split over the node occupying span
+    /// `[lo, lo + len)` of the presorted feature orders.
+    fn best_split(&self, lo: usize, len: usize, counts: &[usize]) -> Option<SplitChoice> {
+        let n = len as f64;
+        let base_entropy = entropy(counts, len);
         let mut best: Option<SplitChoice> = None;
 
         let num_features = self.dataset.schema.num_features();
-        let mut order: Vec<usize> = idx.to_vec();
+        let mut left_counts = vec![0usize; counts.len()];
+        let mut right_counts = vec![0usize; counts.len()];
         for feature in 0..num_features {
-            order.sort_unstable_by(|&a, &b| {
-                self.dataset.rows[a][feature].total_cmp(&self.dataset.rows[b][feature])
-            });
-            let mut left_counts = vec![0usize; counts.len()];
+            let order = &self.orders[feature][lo..lo + len];
+            left_counts.iter_mut().for_each(|c| *c = 0);
+            right_counts.copy_from_slice(counts);
             let mut left_n = 0usize;
             for w in 0..order.len() - 1 {
-                let row = order[w];
-                left_counts[self.dataset.labels[row]] += 1;
+                let row = order[w] as usize;
+                let label = self.dataset.labels[row];
+                left_counts[label] += 1;
+                right_counts[label] -= 1;
                 left_n += 1;
                 let v = self.dataset.rows[row][feature];
-                let v_next = self.dataset.rows[order[w + 1]][feature];
+                let v_next = self.dataset.rows[order[w + 1] as usize][feature];
                 if v_next <= v {
                     continue; // not a boundary between distinct values
                 }
-                let right_n = idx.len() - left_n;
+                let right_n = len - left_n;
                 if left_n < self.params.min_leaf || right_n < self.params.min_leaf {
                     continue;
                 }
                 let h_left = entropy(&left_counts, left_n);
-                let right_counts: Vec<usize> = counts
-                    .iter()
-                    .zip(&left_counts)
-                    .map(|(&c, &l)| c - l)
-                    .collect();
                 let h_right = entropy(&right_counts, right_n);
                 let gain =
                     base_entropy - (left_n as f64 / n) * h_left - (right_n as f64 / n) * h_right;
@@ -561,9 +770,9 @@ mod tests {
         let ds = synthetic(rows, labels, 2);
         let tree = DecisionTree::train(&ds, &TreeParams::default());
         assert_eq!(tree.accuracy(&ds), 1.0);
-        match tree.root() {
-            TreeNode::Split { feature, .. } => assert_eq!(*feature, 1),
-            _ => panic!("expected a split at the root"),
+        match tree.root_split() {
+            Some((feature, _)) => assert_eq!(feature, 1),
+            None => panic!("expected a split at the root"),
         }
     }
 
@@ -639,6 +848,7 @@ mod tests {
         );
         assert_eq!(stump.depth(), 0);
         assert_eq!(stump.num_leaves(), 1);
+        assert!(stump.root_split().is_none());
     }
 
     #[test]
@@ -656,6 +866,22 @@ mod tests {
     }
 
     #[test]
+    fn flat_preorder_invariants() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| (i / 8) % 2).collect();
+        let ds = synthetic(rows, labels, 2);
+        let tree = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                prune: false,
+                ..TreeParams::default()
+            },
+        );
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_nodes(), 2 * tree.num_leaves() - 1);
+    }
+
+    #[test]
     fn serde_round_trip() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
@@ -666,6 +892,72 @@ mod tests {
         assert_eq!(back, tree);
         let nf = ds.schema.num_features();
         assert_eq!(back.predict(&vec![3.0; nf]), tree.predict(&vec![3.0; nf]));
+    }
+
+    #[test]
+    fn legacy_recursive_json_still_loads() {
+        // A model serialized by the pre-flat representation: recursive
+        // externally-tagged nodes under `root`.
+        let legacy = r#"{
+            "root": {"Split": {
+                "feature": 0,
+                "threshold": 4.5,
+                "left": {"Leaf": {"label": 0, "samples": 5, "errors": 0}},
+                "right": {"Split": {
+                    "feature": 1,
+                    "threshold": 2.0,
+                    "left": {"Leaf": {"label": 1, "samples": 3, "errors": 1}},
+                    "right": {"Leaf": {"label": 2, "samples": 4, "errors": 0}}
+                }}
+            }},
+            "num_features": 9,
+            "num_labels": 3
+        }"#;
+        let tree: DecisionTree = serde_json::from_str(legacy).unwrap();
+        assert_eq!(tree.num_nodes(), 5);
+        assert_eq!(tree.num_leaves(), 3);
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.root_split(), Some((0, 4.5)));
+        let nf = tree.num_features;
+        let mut row = vec![0.0; nf];
+        assert_eq!(tree.predict(&row), 0);
+        row[0] = 5.0;
+        row[1] = 1.0;
+        assert_eq!(tree.predict(&row), 1);
+        row[1] = 3.0;
+        assert_eq!(tree.predict(&row), 2);
+        // Legacy loads re-serialize in the flat format and round-trip.
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+        // Render shows per-leaf stats preserved from the legacy form.
+        let text = tree.render(&|f| format!("f{f}"), &|l| format!("a{l}"));
+        assert!(text.contains("(3 samples, 1 errors)"));
+    }
+
+    #[test]
+    fn malformed_trees_are_rejected() {
+        // Right child pointing backwards must not deserialize (it would make
+        // `predict` loop forever).
+        let bad = r#"{
+            "num_features": 2, "num_labels": 2,
+            "feature": [0, 4294967295, 4294967295],
+            "threshold": [1.0, 0.0, 0.0],
+            "right": [0, 0, 1],
+            "samples": [2, 1, 1],
+            "errors": [0, 0, 0]
+        }"#;
+        assert!(serde_json::from_str::<DecisionTree>(bad).is_err());
+        // Mismatched array lengths are rejected too.
+        let ragged = r#"{
+            "num_features": 2, "num_labels": 2,
+            "feature": [4294967295],
+            "threshold": [],
+            "right": [0],
+            "samples": [1],
+            "errors": [0]
+        }"#;
+        assert!(serde_json::from_str::<DecisionTree>(ragged).is_err());
     }
 
     #[test]

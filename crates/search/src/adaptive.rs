@@ -33,6 +33,15 @@ impl AdaptiveSearcher {
         AdaptiveSearcher::default()
     }
 
+    /// A searcher pre-seeded with reuse information from an earlier solve of
+    /// the **same workload** (the warm-training path rebuilds per-sample
+    /// searchers from cached solves this way). The caller is responsible for
+    /// the memo's admissibility: every entry must be a sound lower bound on
+    /// the cost-to-go of that vertex in this workload's scheduling graph.
+    pub fn warmed(memo: HeuristicMemo) -> Self {
+        AdaptiveSearcher { memo }
+    }
+
     /// Number of vertices with reuse information.
     pub fn memo_len(&self) -> usize {
         self.memo.len()

@@ -37,7 +37,7 @@ pub use decision::Decision;
 pub use heuristic::HeuristicTable;
 pub use state::{LastVm, SearchState, StateKey};
 pub use strategy::{
-    solve_counts, AnytimeWeightedAStar, BeamSearch, DecisionStep, ExactAStar, HeuristicMemo,
-    OptimalSchedule, PartialExpansionAStar, Plan, SearchConfig, SearchOutcome, SearchStats,
-    SearchStrategy, Solver, Strategy,
+    solve_counts, AnytimeWeightedAStar, BeamSearch, DecisionStep, ExactAStar, ExploredStates,
+    HeuristicMemo, OptimalSchedule, PartialExpansionAStar, Plan, SearchConfig, SearchOutcome,
+    SearchStats, SearchStrategy, Solver, Strategy,
 };

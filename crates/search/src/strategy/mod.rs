@@ -383,6 +383,22 @@ impl HeuristicMemo {
             *slot = h;
         }
     }
+
+    /// Whether the memo holds reuse information for `key`.
+    pub fn contains(&self, key: &StateKey) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Like [`HeuristicMemo::raise`], but refuses to grow past `cap`
+    /// entries: existing keys may still be raised (free — no allocation),
+    /// new keys are dropped once the memo is full. Raising and dropping are
+    /// both order-independent per key, so a sequence of capped raises is
+    /// deterministic for any fixed insertion order.
+    pub fn raise_capped(&mut self, key: StateKey, h: f64, cap: usize) {
+        if self.values.contains_key(&key) || self.values.len() < cap {
+            self.raise(key, h);
+        }
+    }
 }
 
 /// The g-values of every settled vertex of one search, in settle order —

@@ -819,6 +819,13 @@ fn handle_command(engine: &mut Engine, command: Command, swap_tx: &Sender<Finish
 /// thread; the trainer posts the result onto the swap channel, and the
 /// scheduler thread applies it between wakeups. Training artifacts never
 /// cross the wire — they are rebuilt here, server-side.
+///
+/// The trainer starts from the serving scheduler's warm state
+/// ([`OnlineScheduler::warm_start`]): sample signatures already solved for
+/// the serving model are replayed from the solve cache, so a retrain on an
+/// unchanged template mix performs zero A* searches. A different `seed`
+/// only changes which signatures are *drawn* — overlap with the cache is
+/// still served for free.
 fn schedule_retrain(
     engine: &Engine,
     class: TenantId,
@@ -838,6 +845,7 @@ fn schedule_retrain(
         }
     };
     let spec = scheduler.base_model().spec_handle().clone();
+    let warm = scheduler.warm_start();
     let goal = engine.classes()[class.index()].goal.clone();
     let training = match engine {
         Engine::Single(s) => s.config(),
@@ -852,7 +860,7 @@ fn schedule_retrain(
         .name(format!("wisedb-trainer-{}", class.index()))
         .spawn(move || {
             if let Ok((model, artifacts)) =
-                ModelGenerator::new(spec, goal, training).train_with_artifacts()
+                ModelGenerator::new(spec, goal, training).retrain_from(&warm)
             {
                 let _ = swap_tx.send(FinishedSwap {
                     class,
